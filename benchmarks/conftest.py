@@ -1,0 +1,24 @@
+"""Shared fixtures for the benchmark harness.
+
+The mixed-signal co-simulation is expensive, so the calibrated platform
+(start-up + rate-table calibration) is built once per benchmark session
+and reused by the table/figure benches.
+"""
+
+import pytest
+
+from repro.platform import GenericSensorPlatform, GyroPlatform
+
+
+@pytest.fixture(scope="session")
+def calibrated_platform():
+    """A started and factory-calibrated gyro platform."""
+    platform = GyroPlatform()
+    platform.calibrate(settle_s=0.2)
+    return platform
+
+
+@pytest.fixture(scope="session")
+def gyro_instance():
+    """The gyro customisation of the generic platform (IP selection)."""
+    return GenericSensorPlatform().derive("gyro")

@@ -1,0 +1,65 @@
+"""Ablation — the digital-heavy partitioning choice and the DSE sweep.
+
+The paper's central design argument is to keep the analog section
+minimal and do "as much conditioning as possible" in the digital domain.
+This bench (a) runs the partitioning engine with the default automotive
+cost weights and confirms the signal-processing functions land in
+hardwired digital logic, (b) flips the weights to emulate an
+analog-friendly technology and shows the partition moves, and (c) runs
+the design-space exploration and reports the Pareto front the platform
+point sits on.
+"""
+
+import pytest
+
+from repro.flow import (
+    DseConfig,
+    PartitioningWeights,
+    explore,
+    gyro_system_functions,
+    pareto_front,
+    partition,
+    recommend,
+)
+from repro.platform import Domain
+
+
+def _run_ablation():
+    baseline = partition(gyro_system_functions())
+    analog_friendly = partition(
+        gyro_system_functions(),
+        PartitioningWeights(area_mm2=0.05, gates=0.01, power_mw=0.2))
+    evaluated = explore()
+    front = pareto_front(evaluated)
+    chosen = recommend()
+    return baseline, analog_friendly, front, chosen
+
+
+def test_ablation_partitioning_and_dse(benchmark):
+    baseline, analog_friendly, front, chosen = benchmark.pedantic(
+        _run_ablation, rounds=1, iterations=1)
+
+    print("\n=== Ablation: analog/digital/software partitioning ===")
+    print("default weights  -> digital:",
+          baseline.functions_in_domain(Domain.DIGITAL_HW))
+    print("                 -> software:",
+          baseline.functions_in_domain(Domain.SOFTWARE))
+    print("analog-friendly  -> analog:",
+          analog_friendly.functions_in_domain(Domain.ANALOG))
+    print("\nDSE Pareto front (noise vs gates):")
+    for point in front[:8]:
+        print("  ", point.summary())
+    print("recommended point:", chosen.summary())
+
+    # with automotive cost weights, the conditioning is digital-heavy ...
+    digital = set(baseline.functions_in_domain(Domain.DIGITAL_HW))
+    assert {"drive_pll", "drive_agc", "rate_demodulation",
+            "output_filtering"} <= digital
+    # ... and the flexible services are software
+    assert "communication_services" in baseline.functions_in_domain(Domain.SOFTWARE)
+    # when analog area/power is made artificially cheap, the partition shifts
+    assert len(analog_friendly.functions_in_domain(Domain.ANALOG)) > \
+        len(baseline.functions_in_domain(Domain.ANALOG))
+    # the DSE recommendation meets the Table 1 noise band
+    assert chosen.noise_density_dps_rthz <= 0.13
+    assert len(front) >= 2

@@ -1,0 +1,77 @@
+"""Figure 1 — the platform-based design flow, executed end to end.
+
+Runs the Fig. 1 stage graph for the gyro project with real actions wired
+in: the partitioning stage runs the partitioning engine, the mixed
+simulation stage runs a short behavioural-vs-fixed-point equivalence
+check, and the prototyping / ASIC stages run the implementation
+estimators.  The bench asserts every stage passes.
+"""
+
+import pytest
+
+from repro.flow import (
+    build_gyro_design_flow,
+    compare_traces,
+    estimate_asic,
+    estimate_fpga_prototype,
+    gyro_system_functions,
+    partition,
+)
+from repro.platform import GenericSensorPlatform, GyroPlatform, GyroPlatformConfig
+from repro.sensors import Environment
+
+
+def _run_flow():
+    platform_def = GenericSensorPlatform()
+    instance = platform_def.derive("gyro")
+
+    def do_partitioning(ctx):
+        result = partition(gyro_system_functions())
+        ctx["partition"] = result
+        return {"digital_gates": result.digital_gates,
+                "analog_area_mm2": round(result.analog_area_mm2, 2),
+                "code_bytes": result.code_bytes}
+
+    def do_mixed_simulation(ctx):
+        behavioural = GyroPlatform()
+        ref = behavioural.run(Environment.still(), 0.25, reset=True)
+        proto_cfg = GyroPlatformConfig()
+        proto_cfg.conditioner.fixed_point = True
+        prototype = GyroPlatform(proto_cfg)
+        impl = prototype.run(Environment.still(), 0.25, reset=True)
+        report = compare_traces(ref.amplitude_control, impl.amplitude_control,
+                                tolerance=0.1, skip_fraction=0.3)
+        ctx["equivalence"] = report
+        if not report.passed:
+            raise RuntimeError("behavioural vs fixed-point mismatch")
+        return {"max_abs_error": report.max_abs_error}
+
+    def do_prototyping(ctx):
+        report = estimate_fpga_prototype(instance, clock_mhz=20.0)
+        if not (report.fits and report.timing_met):
+            raise RuntimeError("prototype does not fit the X2S600E")
+        return {"fpga_gates": report.design_gates,
+                "utilization": round(report.utilization, 3)}
+
+    def do_asic(ctx):
+        report = estimate_asic(instance)
+        return {"die_mm2": round(report.total_die_mm2, 1),
+                "analog_mm2": round(report.analog_area_mm2, 1)}
+
+    flow = build_gyro_design_flow({
+        "partitioning": do_partitioning,
+        "mixed_simulation": do_mixed_simulation,
+        "prototyping": do_prototyping,
+        "asic_integration": do_asic,
+    })
+    flow.execute()
+    return flow
+
+
+def test_fig1_design_flow_end_to_end(benchmark):
+    flow = benchmark.pedantic(_run_flow, rounds=1, iterations=1)
+    print("\n=== Figure 1: platform-based design flow ===")
+    print(flow.report())
+    assert flow.succeeded
+    assert flow.results["partitioning"].details["digital_gates"] > 0
+    assert flow.results["prototyping"].details["utilization"] < 1.0

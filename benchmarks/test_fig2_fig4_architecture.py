@@ -1,0 +1,58 @@
+"""Figures 2 and 4 — platform architecture and CPU-core architecture.
+
+Regenerates the architecture inventory of the generic platform (Fig. 2)
+customised for the gyro, and of the 8051 subsystem with its two buses
+and peripherals (Fig. 4), and checks that all the blocks named in the
+paper are present.
+"""
+
+import pytest
+
+from repro.gyro import GyroConditioner, GyroConditionerConfig
+from repro.mcu import McuSubsystem
+from repro.platform import Domain, GenericSensorPlatform
+from repro.afe import build_trim_bank
+
+
+def _build_architecture():
+    platform_def = GenericSensorPlatform()
+    instance = platform_def.derive("gyro")
+    mcu = McuSubsystem()
+    conditioner = GyroConditioner(GyroConditionerConfig(status_update_interval=1))
+    trim = build_trim_bank()
+    mcu.connect_dsp_registers(conditioner.registers)
+    mcu.connect_trim_bank(trim)
+    return platform_def, instance, mcu
+
+
+def test_fig2_fig4_architecture_inventory(benchmark):
+    platform_def, instance, mcu = benchmark.pedantic(_build_architecture,
+                                                     rounds=1, iterations=1)
+
+    print("\n=== Figure 2: generic platform customised for the gyro ===")
+    print(platform_def.architecture_report(instance))
+
+    names = set(instance.block_names())
+    # Fig. 2 blocks: converters, DSP IPs, CPU, memories, UART/SPI, timer, JTAG
+    for block in ("sar_adc_12b", "dac_12b", "nco", "mixer_demodulator",
+                  "pll_loop_filter", "agc", "cpu_8051", "memory_subsystem",
+                  "uart", "spi", "timer_watchdog", "jtag_tap"):
+        assert block in names, f"missing Fig. 2 block {block}"
+
+    # Fig. 4: two-bus CPU subsystem with bridge-mapped peripherals and JTAG
+    print("\n=== Figure 4: CPU core architecture ===")
+    print(f"code memory            : {mcu.core.code.size} bytes")
+    print(f"internal RAM           : {mcu.core.iram.SIZE} bytes")
+    print(f"bridge base address    : 0x{mcu.bridge.base_address:04X}")
+    print(f"JTAG IDCODE            : 0x{mcu.jtag.read_idcode():08X}")
+    assert mcu.core.code.size == 16 * 1024          # 16 KB ROM ('ASIC' version)
+    assert mcu.bridge.base_address == 0x8000
+    # the DSP status registers and the analog trim bank are both reachable
+    assert mcu.xdata.read(0x8100) is not None
+    assert mcu.xdata.read(0x8000 + 0x04) == 12      # afe_adc_bits reset value
+
+    # the platform-reuse claim: a capacitive instance leaves gyro IPs out
+    pressure = platform_def.derive("capacitive")
+    assert pressure.digital_gates < instance.digital_gates
+    unused = {b.name for b in platform_def.unused_blocks(pressure)}
+    assert "pll_loop_filter" in unused

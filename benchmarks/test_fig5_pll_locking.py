@@ -1,0 +1,50 @@
+"""Figure 5 — PLL locking waveforms of the behavioural (MATLAB-level) model.
+
+The paper's Fig. 5 shows four traces during drive-loop lock-in:
+amplitude control, phase error, amplitude error and VCO control.  The
+bench runs the behavioural (floating-point) platform from power-on,
+regenerates the four traces and checks the expected shape: the PLL
+locks, the amplitude settles on the AGC target, and both error traces
+collapse towards zero.
+"""
+
+import numpy as np
+import pytest
+
+from repro.platform import GyroPlatform
+from repro.sensors import Environment
+
+
+def _run_locking(duration_s=0.8):
+    platform = GyroPlatform()
+    result = platform.run(Environment.still(), duration_s, reset=True)
+    return platform, result
+
+
+def test_fig5_pll_locking_waveforms(benchmark):
+    platform, result = benchmark.pedantic(_run_locking, rounds=1, iterations=1)
+
+    tail = result.settled_slice(0.2)
+    print("\n=== Figure 5: PLL locking (behavioural model) ===")
+    print(f"trace length              : {result.time_s.size} samples "
+          f"({result.duration_s * 1000:.0f} ms)")
+    print(f"PLL lock time              : {result.lock_time_s() * 1000:.1f} ms")
+    print(f"final amplitude control    : {result.amplitude_control[-1]:.3f}")
+    print(f"final amplitude error      : {result.amplitude_error[-1]:+.4f}")
+    print(f"final phase error          : {result.phase_error[-1]:+.4f}")
+    print(f"final VCO control          : {result.vco_control[-1]:+.2f} Hz")
+    print(f"NCO frequency              : "
+          f"{platform.conditioner.drive_loop.pll.frequency_hz:.1f} Hz")
+
+    # shape checks: locked, amplitude on target, errors collapsed
+    assert result.pll_locked[-1]
+    assert result.lock_time_s() < 0.3
+    target = platform.conditioner.config.drive.agc.target_amplitude
+    amplitude = platform.conditioner.drive_loop.pll.amplitude_estimate
+    assert amplitude == pytest.approx(target, rel=0.1)
+    assert abs(np.mean(result.amplitude_error[tail])) < 0.05
+    assert abs(np.mean(result.phase_error[tail])) < 0.05
+    # the amplitude-control (drive gain) trace settles to a steady value
+    assert np.std(result.amplitude_control[tail]) < 0.02
+    # the VCO control trace stays within the tuning range and settles
+    assert np.all(np.abs(result.vco_control) <= 750.0)

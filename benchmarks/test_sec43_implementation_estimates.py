@@ -1,0 +1,37 @@
+"""Section 4.3 implementation figures — 200 kgates @ 20 MHz, 12 mm² AFE.
+
+The paper reports that the digital section of the gyro customisation is
+"roughly 200 Kgates" implemented in a Xilinx X2S600E at 20 MHz, and that
+the analog front end occupies a 12 mm² chip in 0.35 µm CMOS.  The bench
+rolls the IP portfolio up through the estimators and checks the numbers
+land at that scale.
+"""
+
+import pytest
+
+from repro.flow import estimate_asic, estimate_fpga_prototype
+
+
+def _estimate(instance):
+    fpga = estimate_fpga_prototype(instance, clock_mhz=20.0)
+    asic = estimate_asic(instance)
+    return fpga, asic
+
+
+def test_sec43_implementation_estimates(benchmark, gyro_instance):
+    fpga, asic = benchmark.pedantic(_estimate, args=(gyro_instance,),
+                                    rounds=1, iterations=1)
+
+    print("\n=== Section 4.3: implementation estimates ===")
+    print("FPGA prototype :", fpga.summary())
+    print("ASIC estimate  :", asic.summary())
+
+    # "roughly 200 Kgates" of digital logic
+    assert 150_000 <= fpga.design_gates <= 250_000
+    # it fits the X2S600E at 20 MHz
+    assert fpga.fits and fpga.timing_met
+    assert fpga.clock_mhz == pytest.approx(20.0)
+    # the analog front end is on the order of the paper's 12 mm2 chip
+    assert 5.0 <= asic.analog_area_mm2 <= 15.0
+    # the single-chip integration stays a plausible automotive die size
+    assert asic.total_die_mm2 < 40.0

@@ -1,0 +1,58 @@
+"""Table 1 — datasheet performance of the SensorDynamics implementation.
+
+Regenerates the paper's Table 1 by characterising the calibrated
+simulated platform: sensitivity (initial and over temperature),
+nonlinearity, null, turn-on time, rate-noise density and bandwidth.
+Absolute matching is not expected (the substrate is a simulator), but
+the measured values must land in the same bands the paper reports.
+"""
+
+import pytest
+
+from repro.eval import (
+    CharacterizationConfig,
+    GyroCharacterization,
+    paper_table1_sensordynamics,
+)
+
+
+def _characterize(platform):
+    config = CharacterizationConfig(
+        rate_points_dps=(-300.0, -200.0, -100.0, 0.0, 100.0, 200.0, 300.0),
+        settle_s=0.15,
+        noise_duration_s=1.2,
+        temperatures_c=(-40.0, 85.0),
+    )
+    harness = GyroCharacterization(platform, config)
+    return harness.characterize(include_noise=True, include_temperature=True,
+                                bandwidth_method="analytic")
+
+
+def test_table1_sensordynamics_performance(benchmark, calibrated_platform):
+    measured = benchmark.pedantic(_characterize, args=(calibrated_platform,),
+                                  rounds=1, iterations=1)
+
+    paper = paper_table1_sensordynamics()
+    print("\n=== Table 1: SensorDynamics implementation ===")
+    print("paper (published):")
+    print(paper.format_table())
+    print("\nmeasured (this reproduction):")
+    print(measured.to_datasheet().format_table())
+
+    # sensitivity calibrated to 5 mV/deg/s within the paper's initial band
+    assert 4.5 <= measured.sensitivity_mv_per_dps <= 5.5
+    # over temperature the sensitivity stays within a widened band
+    lo, hi = measured.sensitivity_over_temp_mv
+    assert 4.3 <= lo <= hi <= 5.7
+    # nonlinearity at or below the paper's maximum (0.20 % FS)
+    assert measured.nonlinearity_pct_fs <= 0.20
+    # null near the ratiometric mid-supply
+    assert measured.null_v == pytest.approx(2.5, abs=0.1)
+    null_lo, null_hi = measured.null_over_temp_v
+    assert 2.3 <= null_lo <= null_hi <= 2.8
+    # turn-on time in the hundreds of milliseconds (paper max 500 ms)
+    assert 200.0 <= measured.turn_on_time_ms <= 700.0
+    # rate-noise density inside the paper's min/max band
+    assert 0.03 <= measured.noise_density_dps_rthz <= 0.15
+    # bandwidth inside the paper's 25-75 Hz window
+    assert 25.0 <= measured.bandwidth_hz <= 75.0

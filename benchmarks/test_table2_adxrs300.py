@@ -1,0 +1,38 @@
+"""Table 2 — Analog Devices ADXRS300 baseline.
+
+Characterises the ADXRS300 behavioural model (parameterised from the
+paper's Table 2) with the same metric harness used for the platform, and
+checks the measured figures land on the published values.
+"""
+
+import pytest
+
+from repro.eval import (
+    BaselineGyroDevice,
+    adxrs300_spec,
+    characterize_baseline,
+    paper_table2_adxrs300,
+)
+
+
+def _characterize():
+    device = BaselineGyroDevice(adxrs300_spec(), seed=11)
+    return characterize_baseline(device, noise_duration_s=6.0, settle_s=0.5)
+
+
+def test_table2_adxrs300_baseline(benchmark):
+    measured = benchmark.pedantic(_characterize, rounds=1, iterations=1)
+
+    paper = paper_table2_adxrs300()
+    print("\n=== Table 2: Analog Devices ADXRS300 ===")
+    print("paper (published):")
+    print(paper.format_table())
+    print("\nmeasured (behavioural model):")
+    print(measured.to_datasheet().format_table())
+
+    assert measured.sensitivity_mv_per_dps == pytest.approx(5.0, rel=0.08)
+    assert measured.null_v == pytest.approx(2.5, abs=0.1)
+    assert measured.noise_density_dps_rthz == pytest.approx(0.1, rel=0.5)
+    assert measured.turn_on_time_ms == pytest.approx(35.0, rel=0.01)
+    assert measured.bandwidth_hz == pytest.approx(40.0, rel=0.01)
+    assert measured.dynamic_range_dps == pytest.approx(300.0)

@@ -1,0 +1,36 @@
+"""Table 3 — Murata Gyrostar baseline.
+
+Characterises the Gyrostar behavioural model (parameterised from the
+paper's Table 3) with the same metric harness used for the platform.
+"""
+
+import pytest
+
+from repro.eval import (
+    BaselineGyroDevice,
+    characterize_baseline,
+    murata_gyrostar_spec,
+    paper_table3_murata_gyrostar,
+)
+
+
+def _characterize():
+    device = BaselineGyroDevice(murata_gyrostar_spec(), seed=13)
+    return characterize_baseline(device, noise_duration_s=4.0, settle_s=0.5)
+
+
+def test_table3_murata_gyrostar_baseline(benchmark):
+    measured = benchmark.pedantic(_characterize, rounds=1, iterations=1)
+
+    paper = paper_table3_murata_gyrostar()
+    print("\n=== Table 3: Murata Gyrostar ===")
+    print("paper (published):")
+    print(paper.format_table())
+    print("\nmeasured (behavioural model):")
+    print(measured.to_datasheet().format_table())
+
+    # Gyrostar sensitivity is an order of magnitude below the 5 mV/deg/s parts
+    assert measured.sensitivity_mv_per_dps == pytest.approx(0.67, rel=0.15)
+    assert measured.null_v == pytest.approx(1.35, abs=0.1)
+    assert measured.bandwidth_hz <= 50.0
+    assert measured.operating_temp_c == (-5.0, 75.0)

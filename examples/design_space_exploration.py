@@ -1,0 +1,59 @@
+"""Platform-based design flow: partitioning, DSE and implementation estimates.
+
+Walks the Fig. 1 flow the way a designer deriving a new sensor interface
+would: partition the system functions across analog / hardwired digital
+/ software, sweep the programmable parameters to find the Pareto front,
+and roll the chosen configuration up to FPGA-prototype and ASIC
+estimates (the paper's 200 kgates / 12 mm² figures).
+
+Run with:  python examples/design_space_exploration.py
+"""
+
+from repro.flow import (
+    build_gyro_design_flow,
+    estimate_asic,
+    estimate_fpga_prototype,
+    explore,
+    gyro_system_functions,
+    pareto_front,
+    partition,
+    recommend,
+)
+from repro.platform import Domain, GenericSensorPlatform
+
+
+def main() -> None:
+    print("=== Analog / digital / software partitioning ===")
+    result = partition(gyro_system_functions())
+    for domain in (Domain.ANALOG, Domain.DIGITAL_HW, Domain.SOFTWARE):
+        names = ", ".join(result.functions_in_domain(domain))
+        print(f"  {domain.value:<12s}: {names}")
+    print(f"  roll-up: {result.analog_area_mm2:.1f} mm2 analog, "
+          f"{result.digital_gates} gates, {result.code_bytes} bytes of firmware")
+
+    print("\n=== Design-space exploration ===")
+    front = pareto_front(explore())
+    for point in front:
+        print("  ", point.summary())
+    print("  recommended:", recommend().summary())
+
+    print("\n=== Platform customisation and implementation estimates ===")
+    platform_def = GenericSensorPlatform()
+    instance = platform_def.derive("gyro")
+    print(platform_def.architecture_report(instance))
+    print()
+    print("FPGA prototype :", estimate_fpga_prototype(instance, clock_mhz=20.0).summary())
+    print("ASIC estimate  :", estimate_asic(instance).summary())
+
+    print("\n=== Executing the Fig. 1 design flow ===")
+    flow = build_gyro_design_flow({
+        "partitioning": lambda ctx: {"digital_gates": result.digital_gates},
+        "prototyping": lambda ctx: {
+            "fpga_gates": estimate_fpga_prototype(instance).design_gates},
+    })
+    flow.execute()
+    print(flow.report())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,55 @@
+"""Analog front-end building blocks and the assembled gyro front end."""
+
+from .adc import AdcConfig, SarAdc
+from .dac import Dac, DacConfig
+from .amplifier import (
+    AmplifierConfig,
+    ChargeAmplifier,
+    ChargeAmplifierConfig,
+    ProgrammableGainAmplifier,
+)
+from .filters import AntiAliasFilter, SinglePoleLowPass, SmoothingFilter
+from .references import (
+    ClockConfig,
+    ClockGenerator,
+    CurrentReference,
+    PowerSupply,
+    ReferenceConfig,
+    SupplyConfig,
+    VoltageReference,
+)
+from .trim import (
+    TRIM_REGISTER_MAP,
+    build_trim_bank,
+    offset_trim_to_volts,
+    volts_to_offset_trim,
+)
+from .frontend import BANDWIDTH_SELECT_HZ, FrontEndConfig, GyroAnalogFrontEnd
+
+__all__ = [
+    "AdcConfig",
+    "SarAdc",
+    "Dac",
+    "DacConfig",
+    "AmplifierConfig",
+    "ChargeAmplifier",
+    "ChargeAmplifierConfig",
+    "ProgrammableGainAmplifier",
+    "AntiAliasFilter",
+    "SinglePoleLowPass",
+    "SmoothingFilter",
+    "ClockConfig",
+    "ClockGenerator",
+    "CurrentReference",
+    "PowerSupply",
+    "ReferenceConfig",
+    "SupplyConfig",
+    "VoltageReference",
+    "TRIM_REGISTER_MAP",
+    "build_trim_bank",
+    "offset_trim_to_volts",
+    "volts_to_offset_trim",
+    "BANDWIDTH_SELECT_HZ",
+    "FrontEndConfig",
+    "GyroAnalogFrontEnd",
+]

@@ -1,0 +1,125 @@
+"""Digital-to-analog converter model.
+
+The front end drives the sensor electrodes "through couples of DACs for
+each loop" and produces the rate output as an analog, ratiometric
+voltage.  The model covers quantisation, output clipping, gain/offset
+errors with temperature drift and optional glitch-free zero-order-hold
+behaviour (the held value is what the mechanical element integrates).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..common.exceptions import ConfigurationError
+from ..common.units import ROOM_TEMPERATURE_C
+
+
+@dataclass
+class DacConfig:
+    """Static configuration of a DAC channel.
+
+    Attributes:
+        bits: converter resolution.
+        vref: reference voltage; output range is ±vref (bipolar) or
+            [0, vref] when ``bipolar`` is False.
+        bipolar: True for a ±vref output, False for a unipolar output.
+        offset_error_v: output offset at 25 °C.
+        gain_error: relative gain error at 25 °C.
+        offset_tc_v_per_c: offset drift [V/°C].
+        gain_tc_ppm_per_c: gain drift [ppm/°C].
+    """
+
+    bits: int = 12
+    vref: float = 2.5
+    bipolar: bool = True
+    offset_error_v: float = 0.0
+    gain_error: float = 0.0
+    offset_tc_v_per_c: float = 0.0
+    gain_tc_ppm_per_c: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not 6 <= self.bits <= 16:
+            raise ConfigurationError(f"DAC resolution must be 6..16 bits, got {self.bits}")
+        if self.vref <= 0:
+            raise ConfigurationError("vref must be > 0")
+
+
+class Dac:
+    """Behavioural DAC with zero-order-hold output."""
+
+    def __init__(self, config: DacConfig):
+        self.config = config
+        self._update_resolution()
+        self._held_output = 0.0 if config.bipolar else config.vref / 2.0
+
+    def _update_resolution(self) -> None:
+        cfg = self.config
+        n_codes = 1 << cfg.bits
+        if cfg.bipolar:
+            self._lsb = 2.0 * cfg.vref / n_codes
+            self._out_min, self._out_max = -cfg.vref, cfg.vref
+        else:
+            self._lsb = cfg.vref / n_codes
+            self._out_min, self._out_max = 0.0, cfg.vref
+
+    @property
+    def lsb_volts(self) -> float:
+        """Voltage weight of one LSB."""
+        return self._lsb
+
+    @property
+    def output(self) -> float:
+        """Currently held output voltage."""
+        return self._held_output
+
+    def set_resolution(self, bits: int) -> None:
+        """Reprogram the converter resolution."""
+        if not 6 <= bits <= 16:
+            raise ConfigurationError(f"DAC resolution must be 6..16 bits, got {bits}")
+        self.config.bits = bits
+        self._update_resolution()
+
+    def write_normalized(self, value: float,
+                         temperature_c: float = ROOM_TEMPERATURE_C) -> float:
+        """Update the output from a normalised digital value.
+
+        Args:
+            value: digital sample normalised to ±1.0 full scale (bipolar)
+                or 0..1 (unipolar).
+            temperature_c: die temperature for drift effects.
+
+        Returns:
+            The new held analog output voltage.
+        """
+        cfg = self.config
+        lo = -1.0 if cfg.bipolar else 0.0
+        clipped = lo if value < lo else (1.0 if value > 1.0 else float(value))
+        target = clipped * cfg.vref
+        # quantise to the DAC grid
+        quantised = round(target / self._lsb) * self._lsb
+        dt_c = temperature_c - ROOM_TEMPERATURE_C
+        gain = (1.0 + cfg.gain_error) * (1.0 + cfg.gain_tc_ppm_per_c * 1e-6 * dt_c)
+        offset = cfg.offset_error_v + cfg.offset_tc_v_per_c * dt_c
+        out = quantised * gain + offset
+        if out < self._out_min:
+            out = self._out_min
+        elif out > self._out_max:
+            out = self._out_max
+        self._held_output = out
+        return self._held_output
+
+    def write_voltage(self, voltage: float,
+                      temperature_c: float = ROOM_TEMPERATURE_C) -> float:
+        """Update the output from a target voltage (convenience wrapper)."""
+        cfg = self.config
+        if cfg.bipolar:
+            return self.write_normalized(voltage / cfg.vref, temperature_c)
+        return self.write_normalized(voltage / cfg.vref, temperature_c)
+
+    def reset(self) -> None:
+        """Return the output to mid-scale."""
+        self._held_output = 0.0 if self.config.bipolar else self.config.vref / 2.0

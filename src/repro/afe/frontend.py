@@ -1,0 +1,261 @@
+"""Assembled analog front-end for the gyro conditioning platform.
+
+The AFE "only absolves functions of driving sensor's electrodes (through
+couples of DACs for each loop) and performing signal acquisition (by
+means of SAR ADCs, amplifiers and basic filters)"; everything else is
+digital.  :class:`GyroAnalogFrontEnd` is exactly that assembly:
+
+* acquisition: charge amplifier → PGA → anti-alias → SAR ADC, one
+  channel per pick-off (primary, secondary);
+* actuation: one DAC per electrode pair (primary drive, secondary
+  control) plus the analog ratiometric rate output;
+* housekeeping: references, supply, clock, trim registers.
+
+All programmable parameters are driven from the trim register bank so
+that the MCU or JTAG can retune the front end at run time, as the paper
+emphasises.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..common.exceptions import ConfigurationError
+from ..common.registers import RegisterFile
+from ..common.units import ROOM_TEMPERATURE_C
+from .adc import AdcConfig, SarAdc
+from .amplifier import (
+    AmplifierConfig,
+    ChargeAmplifier,
+    ChargeAmplifierConfig,
+    ProgrammableGainAmplifier,
+)
+from .dac import Dac, DacConfig
+from .filters import AntiAliasFilter
+from .references import (
+    ClockConfig,
+    ClockGenerator,
+    PowerSupply,
+    ReferenceConfig,
+    SupplyConfig,
+    VoltageReference,
+)
+from .trim import build_trim_bank, offset_trim_to_volts
+
+#: Anti-alias cutoff frequencies selected by the ``afe_bandwidth_sel`` code.
+BANDWIDTH_SELECT_HZ = (10_000.0, 20_000.0, 40_000.0, 50_000.0)
+
+
+@dataclass
+class FrontEndConfig:
+    """Top-level configuration of the gyro analog front-end.
+
+    Attributes:
+        sample_rate_hz: acquisition rate shared by both channels.
+        adc: SAR ADC configuration (shared by both channels).
+        dac: drive/control DAC configuration.
+        primary_amplifier: PGA configuration of the primary channel.
+        secondary_amplifier: PGA configuration of the secondary channel.
+        charge_amplifier: pick-off charge amplifier configuration.
+        reference: bandgap reference configuration.
+        supply: supply configuration (5 V ratiometric).
+        clock: system clock configuration.
+        rate_output_sensitivity_v_per_fs: analog rate-output swing for a
+            full-scale digital rate word (the digital chain calibrates the
+            word so the net sensitivity is 5 mV/°/s).
+        seed: RNG seed for all front-end noise sources.
+    """
+
+    sample_rate_hz: float = 120_000.0
+    adc: AdcConfig = field(default_factory=lambda: AdcConfig(
+        bits=12, vref=2.5, noise_rms_v=150e-6, inl_lsb=0.3,
+        offset_error_v=0.5e-3, gain_error=0.002,
+        offset_tc_v_per_c=4e-6, gain_tc_ppm_per_c=15.0))
+    dac: DacConfig = field(default_factory=lambda: DacConfig(
+        bits=12, vref=2.5, bipolar=True, gain_error=0.002,
+        offset_error_v=0.5e-3, gain_tc_ppm_per_c=15.0))
+    primary_amplifier: AmplifierConfig = field(default_factory=lambda: AmplifierConfig(
+        gain_settings=(1.0, 2.0, 4.0, 8.0), gain_index=1,
+        noise_density_v_rthz=30e-9, offset_v=0.5e-3, offset_tc_v_per_c=3e-6))
+    secondary_amplifier: AmplifierConfig = field(default_factory=lambda: AmplifierConfig(
+        gain_settings=(1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0), gain_index=3,
+        noise_density_v_rthz=30e-9, offset_v=0.5e-3, offset_tc_v_per_c=3e-6))
+    charge_amplifier: ChargeAmplifierConfig = field(
+        default_factory=lambda: ChargeAmplifierConfig(
+            transimpedance_gain=1.0, noise_density_v_rthz=50e-9,
+            offset_v=0.2e-3, offset_tc_v_per_c=2e-6))
+    reference: ReferenceConfig = field(default_factory=lambda: ReferenceConfig(
+        nominal=2.5, tc_ppm_per_c=20.0))
+    supply: SupplyConfig = field(default_factory=SupplyConfig)
+    clock: ClockConfig = field(default_factory=ClockConfig)
+    rate_output_sensitivity_v_per_fs: float = 1.5
+    seed: Optional[int] = 42
+
+    def __post_init__(self) -> None:
+        if self.sample_rate_hz <= 0:
+            raise ConfigurationError("sample rate must be > 0")
+        if self.rate_output_sensitivity_v_per_fs <= 0:
+            raise ConfigurationError("rate output sensitivity must be > 0")
+
+
+class GyroAnalogFrontEnd:
+    """The complete analog front end of the gyro conditioning platform."""
+
+    def __init__(self, config: Optional[FrontEndConfig] = None):
+        self.config = config or FrontEndConfig()
+        cfg = self.config
+        fs = cfg.sample_rate_hz
+        seed = cfg.seed
+
+        # acquisition channels
+        self.primary_charge_amp = ChargeAmplifier(cfg.charge_amplifier, fs, seed)
+        self.secondary_charge_amp = ChargeAmplifier(cfg.charge_amplifier, fs,
+                                                    None if seed is None else seed + 1)
+        self.primary_pga = ProgrammableGainAmplifier(cfg.primary_amplifier, fs,
+                                                     None if seed is None else seed + 2)
+        self.secondary_pga = ProgrammableGainAmplifier(cfg.secondary_amplifier, fs,
+                                                       None if seed is None else seed + 3)
+        self.primary_antialias = AntiAliasFilter(BANDWIDTH_SELECT_HZ[2], fs)
+        self.secondary_antialias = AntiAliasFilter(BANDWIDTH_SELECT_HZ[2], fs)
+        self.primary_adc = SarAdc(cfg.adc, None if seed is None else seed + 4)
+        self.secondary_adc = SarAdc(
+            AdcConfig(**{**cfg.adc.__dict__}), None if seed is None else seed + 5)
+
+        # actuation channels
+        self.drive_dac = Dac(cfg.dac)
+        self.control_dac = Dac(DacConfig(**{**cfg.dac.__dict__}))
+        self.rate_output_dac = Dac(DacConfig(
+            bits=cfg.dac.bits, vref=cfg.supply.nominal_v, bipolar=False,
+            gain_error=cfg.dac.gain_error, gain_tc_ppm_per_c=cfg.dac.gain_tc_ppm_per_c))
+
+        # housekeeping
+        self.reference = VoltageReference(cfg.reference)
+        self.supply = PowerSupply(cfg.supply)
+        self.clock = ClockGenerator(cfg.clock)
+        self.trim = build_trim_bank()
+        self._offset_trim_primary_v = 0.0
+        self._offset_trim_secondary_v = 0.0
+        self._offset_trim_output_v = 0.0
+        self._overload = False
+        self._wire_trim_registers()
+        self._apply_all_trims()
+
+    # -- trim register plumbing ----------------------------------------------
+
+    def _wire_trim_registers(self) -> None:
+        self.trim.on_write("afe_primary_gain", self._on_primary_gain)
+        self.trim.on_write("afe_secondary_gain", self._on_secondary_gain)
+        self.trim.on_write("afe_adc_bits", self._on_adc_bits)
+        self.trim.on_write("afe_dac_bits", self._on_dac_bits)
+        self.trim.on_write("afe_bandwidth_sel", self._on_bandwidth_sel)
+        self.trim.on_write("afe_primary_offset_trim", self._on_primary_offset)
+        self.trim.on_write("afe_secondary_offset_trim", self._on_secondary_offset)
+        self.trim.on_write("afe_output_offset_trim", self._on_output_offset)
+
+    def _apply_all_trims(self) -> None:
+        for name in ("afe_primary_gain", "afe_secondary_gain", "afe_adc_bits",
+                     "afe_dac_bits", "afe_bandwidth_sel", "afe_primary_offset_trim",
+                     "afe_secondary_offset_trim", "afe_output_offset_trim"):
+            self.trim.write(name, self.trim.read(name))
+
+    def _on_primary_gain(self, code: int) -> None:
+        index = min(code, len(self.primary_pga.config.gain_settings) - 1)
+        self.primary_pga.select_gain(index)
+
+    def _on_secondary_gain(self, code: int) -> None:
+        index = min(code, len(self.secondary_pga.config.gain_settings) - 1)
+        self.secondary_pga.select_gain(index)
+
+    def _on_adc_bits(self, code: int) -> None:
+        bits = min(16, max(6, code))
+        self.primary_adc.set_resolution(bits)
+        self.secondary_adc.set_resolution(bits)
+
+    def _on_dac_bits(self, code: int) -> None:
+        bits = min(16, max(6, code))
+        self.drive_dac.set_resolution(bits)
+        self.control_dac.set_resolution(bits)
+        self.rate_output_dac.set_resolution(bits)
+
+    def _on_bandwidth_sel(self, code: int) -> None:
+        cutoff = BANDWIDTH_SELECT_HZ[min(code, len(BANDWIDTH_SELECT_HZ) - 1)]
+        fs = self.config.sample_rate_hz
+        self.primary_antialias = AntiAliasFilter(cutoff, fs)
+        self.secondary_antialias = AntiAliasFilter(cutoff, fs)
+
+    def _on_primary_offset(self, code: int) -> None:
+        self._offset_trim_primary_v = offset_trim_to_volts(code)
+
+    def _on_secondary_offset(self, code: int) -> None:
+        self._offset_trim_secondary_v = offset_trim_to_volts(code)
+
+    def _on_output_offset(self, code: int) -> None:
+        self._offset_trim_output_v = offset_trim_to_volts(code)
+
+    # -- signal path ----------------------------------------------------------
+
+    def acquire(self, primary_pickoff_v: float, secondary_pickoff_v: float,
+                temperature_c: float = ROOM_TEMPERATURE_C) -> Tuple[float, float]:
+        """Acquire both pick-off channels for one sample.
+
+        Returns:
+            ``(primary_norm, secondary_norm)`` — normalised (±1 full
+            scale) digital samples handed to the DSP block.
+        """
+        p = self.primary_charge_amp.step(primary_pickoff_v, temperature_c)
+        p = self.primary_pga.step(p + self._offset_trim_primary_v, temperature_c)
+        p = self.primary_antialias.step(p)
+        s = self.secondary_charge_amp.step(secondary_pickoff_v, temperature_c)
+        s = self.secondary_pga.step(s + self._offset_trim_secondary_v, temperature_c)
+        s = self.secondary_antialias.step(s)
+        rail = self.config.adc.vref
+        self._overload = abs(p) >= 0.98 * rail or abs(s) >= 0.98 * rail
+        self.trim.register("afe_status").hw_write_field("overload", int(self._overload))
+        return (self.primary_adc.normalized_sample(p, temperature_c),
+                self.secondary_adc.normalized_sample(s, temperature_c))
+
+    def drive(self, drive_norm: float, control_norm: float,
+              temperature_c: float = ROOM_TEMPERATURE_C) -> Tuple[float, float]:
+        """Update the electrode drive DACs from normalised digital words.
+
+        Returns:
+            ``(drive_voltage, control_voltage)`` applied to the sensor.
+        """
+        drive_v = self.drive_dac.write_normalized(drive_norm, temperature_c)
+        control_v = self.control_dac.write_normalized(control_norm, temperature_c)
+        return drive_v, control_v
+
+    def rate_output(self, rate_norm: float,
+                    temperature_c: float = ROOM_TEMPERATURE_C) -> float:
+        """Produce the analog ratiometric rate output.
+
+        ``rate_norm`` is the signed, normalised (±1) digital rate word.
+        The output swings around the ratiometric mid-supply (≈2.5 V):
+        ``V = Vdd/2 + rate_norm * rate_output_sensitivity + trim``.
+        """
+        mid = self.supply.midsupply()
+        span = self.config.rate_output_sensitivity_v_per_fs
+        target = mid + float(np.clip(rate_norm, -1.0, 1.0)) * span \
+            + self._offset_trim_output_v
+        return self.rate_output_dac.write_normalized(
+            target / self.rate_output_dac.config.vref, temperature_c)
+
+    # -- status ---------------------------------------------------------------
+
+    @property
+    def overload(self) -> bool:
+        """True if either acquisition channel clipped on the last sample."""
+        return self._overload
+
+    def reset(self) -> None:
+        """Reset the dynamic state of the front end (filters and DACs)."""
+        self.primary_pga.reset()
+        self.secondary_pga.reset()
+        self.primary_antialias.reset()
+        self.secondary_antialias.reset()
+        self.drive_dac.reset()
+        self.control_dac.reset()
+        self.rate_output_dac.reset()

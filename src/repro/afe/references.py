@@ -1,0 +1,150 @@
+"""Voltage and current references plus supply/clock conditioning.
+
+The front end "provides stable power supply and clock to the digital
+section" and contains the voltage/current sources every sensor class
+needs (bridge excitation, bias currents, the ratiometric mid-supply that
+defines the rate-output null at ~2.5 V in Table 1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..common.exceptions import ConfigurationError
+from ..common.units import ROOM_TEMPERATURE_C
+
+
+@dataclass
+class ReferenceConfig:
+    """Configuration of a bandgap-derived reference.
+
+    Attributes:
+        nominal: nominal output (volts or amps).
+        initial_error: relative error at 25 °C (part-to-part).
+        tc_ppm_per_c: temperature coefficient [ppm/°C].
+        line_sensitivity: relative change per volt of supply deviation.
+    """
+
+    nominal: float
+    initial_error: float = 0.0
+    tc_ppm_per_c: float = 20.0
+    line_sensitivity: float = 1e-4
+
+    def __post_init__(self) -> None:
+        if self.nominal <= 0:
+            raise ConfigurationError("nominal reference value must be > 0")
+
+
+class VoltageReference:
+    """Bandgap voltage reference with temperature and line sensitivity."""
+
+    def __init__(self, config: ReferenceConfig):
+        self.config = config
+
+    def value(self, temperature_c: float = ROOM_TEMPERATURE_C,
+              supply_deviation_v: float = 0.0) -> float:
+        """Reference output at the given temperature and supply deviation."""
+        cfg = self.config
+        dt_c = temperature_c - ROOM_TEMPERATURE_C
+        return cfg.nominal * (1.0 + cfg.initial_error
+                              + cfg.tc_ppm_per_c * 1e-6 * dt_c
+                              + cfg.line_sensitivity * supply_deviation_v)
+
+
+class CurrentReference:
+    """Bias-current reference (same behavioural model as the voltage one)."""
+
+    def __init__(self, config: ReferenceConfig):
+        self.config = config
+
+    def value(self, temperature_c: float = ROOM_TEMPERATURE_C,
+              supply_deviation_v: float = 0.0) -> float:
+        """Reference output current at the given conditions."""
+        cfg = self.config
+        dt_c = temperature_c - ROOM_TEMPERATURE_C
+        return cfg.nominal * (1.0 + cfg.initial_error
+                              + cfg.tc_ppm_per_c * 1e-6 * dt_c
+                              + cfg.line_sensitivity * supply_deviation_v)
+
+
+@dataclass
+class SupplyConfig:
+    """5 V automotive supply with regulation for the analog/digital domains.
+
+    Attributes:
+        nominal_v: nominal external supply (5.0 V ratiometric systems).
+        regulation_error: relative error of the regulated internal rails.
+        dropout_v: minimum headroom required by the regulator.
+    """
+
+    nominal_v: float = 5.0
+    regulation_error: float = 0.002
+    dropout_v: float = 0.3
+
+    def __post_init__(self) -> None:
+        if self.nominal_v <= 0:
+            raise ConfigurationError("supply voltage must be > 0")
+
+
+class PowerSupply:
+    """Supply conditioning block providing the analog and digital rails."""
+
+    def __init__(self, config: SupplyConfig):
+        self.config = config
+
+    def analog_rail(self, external_v: float = None) -> float:
+        """Regulated analog rail for a given external supply voltage."""
+        cfg = self.config
+        ext = cfg.nominal_v if external_v is None else external_v
+        if ext < cfg.dropout_v:
+            raise ConfigurationError("external supply below regulator dropout")
+        regulated = min(ext - cfg.dropout_v, cfg.nominal_v)
+        return regulated * (1.0 + cfg.regulation_error)
+
+    def midsupply(self, external_v: float = None) -> float:
+        """Ratiometric mid-supply used as the rate-output null (≈2.5 V)."""
+        cfg = self.config
+        ext = cfg.nominal_v if external_v is None else external_v
+        return ext / 2.0
+
+
+@dataclass
+class ClockConfig:
+    """System clock generator feeding the digital section.
+
+    Attributes:
+        frequency_hz: nominal output frequency (20 MHz in the prototype).
+        ppm_tolerance: initial frequency tolerance in ppm.
+        jitter_rms_s: RMS period jitter.
+    """
+
+    frequency_hz: float = 20_000_000.0
+    ppm_tolerance: float = 100.0
+    jitter_rms_s: float = 50e-12
+
+    def __post_init__(self) -> None:
+        if self.frequency_hz <= 0:
+            raise ConfigurationError("clock frequency must be > 0")
+
+
+class ClockGenerator:
+    """Clock source; exposes the actual frequency including tolerance."""
+
+    def __init__(self, config: ClockConfig, frequency_error_ppm: float = 0.0):
+        self.config = config
+        if abs(frequency_error_ppm) > config.ppm_tolerance:
+            raise ConfigurationError(
+                f"frequency error {frequency_error_ppm} ppm exceeds the "
+                f"±{config.ppm_tolerance} ppm tolerance")
+        self.frequency_error_ppm = frequency_error_ppm
+
+    @property
+    def actual_frequency_hz(self) -> float:
+        """Output frequency including the static error."""
+        return self.config.frequency_hz * (1.0 + self.frequency_error_ppm * 1e-6)
+
+    def cycles_in(self, duration_s: float) -> int:
+        """Number of whole clock cycles in a time interval."""
+        if duration_s < 0:
+            raise ConfigurationError("duration must be >= 0")
+        return int(duration_s * self.actual_frequency_hz)

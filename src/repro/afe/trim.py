@@ -1,0 +1,85 @@
+"""Analog trim register bank.
+
+"Each analog cell in the front end is digitally controlled, and this
+programmability can be of paramount importance for the whole system
+functioning."  The trim bank is the register fabric behind that
+programmability: a :class:`~repro.common.registers.RegisterFile` whose
+registers control PGA gain codes, converter resolutions, offset trims
+and output scaling.  Both the 8051 (through the bridge bus) and the JTAG
+chain can read and write it, and the paper's "full read-back capability"
+requirement is satisfied because every register is readable.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from ..common.registers import BitField, Register, RegisterFile
+
+#: Default register map of the analog trim bank (16-bit registers).
+TRIM_REGISTER_MAP = {
+    "afe_primary_gain": 0x00,
+    "afe_secondary_gain": 0x02,
+    "afe_adc_bits": 0x04,
+    "afe_dac_bits": 0x06,
+    "afe_primary_offset_trim": 0x08,
+    "afe_secondary_offset_trim": 0x0A,
+    "afe_output_offset_trim": 0x0C,
+    "afe_bandwidth_sel": 0x0E,
+    "afe_status": 0x10,
+}
+
+
+def build_trim_bank() -> RegisterFile:
+    """Build the analog trim register bank with its default reset values."""
+    bank = RegisterFile("analog_trim")
+    bank.add(Register("afe_primary_gain", TRIM_REGISTER_MAP["afe_primary_gain"],
+                      width=16, reset=1,
+                      doc="PGA gain code for the primary pick-off channel"))
+    bank.add(Register("afe_secondary_gain", TRIM_REGISTER_MAP["afe_secondary_gain"],
+                      width=16, reset=3,
+                      doc="PGA gain code for the secondary pick-off channel"))
+    bank.add(Register("afe_adc_bits", TRIM_REGISTER_MAP["afe_adc_bits"],
+                      width=16, reset=12,
+                      doc="SAR ADC resolution in bits (6..16)"))
+    bank.add(Register("afe_dac_bits", TRIM_REGISTER_MAP["afe_dac_bits"],
+                      width=16, reset=12,
+                      doc="Drive/control DAC resolution in bits (6..16)"))
+    bank.add(Register("afe_primary_offset_trim",
+                      TRIM_REGISTER_MAP["afe_primary_offset_trim"],
+                      width=16, reset=0x8000,
+                      doc="Primary channel offset trim, 0x8000 = no trim"))
+    bank.add(Register("afe_secondary_offset_trim",
+                      TRIM_REGISTER_MAP["afe_secondary_offset_trim"],
+                      width=16, reset=0x8000,
+                      doc="Secondary channel offset trim, 0x8000 = no trim"))
+    bank.add(Register("afe_output_offset_trim",
+                      TRIM_REGISTER_MAP["afe_output_offset_trim"],
+                      width=16, reset=0x8000,
+                      doc="Rate-output (null) offset trim, 0x8000 = no trim"))
+    bank.add(Register("afe_bandwidth_sel", TRIM_REGISTER_MAP["afe_bandwidth_sel"],
+                      width=16, reset=2,
+                      doc="Anti-alias bandwidth select code"))
+    bank.add(Register("afe_status", TRIM_REGISTER_MAP["afe_status"],
+                      width=16, access="ro", reset=0x0001,
+                      fields=[BitField("afe_ready", lsb=0, width=1, reset=1,
+                                       doc="Analog front-end power-good"),
+                              BitField("overload", lsb=1, width=1, reset=0,
+                                       doc="Either pick-off channel clipped")],
+                      doc="Analog front-end status (read-only)"))
+    return bank
+
+
+def offset_trim_to_volts(code: int, full_scale_v: float = 0.1) -> float:
+    """Convert a 16-bit offset-trim code to a trim voltage.
+
+    Code 0x8000 means zero trim; the full 16-bit span covers
+    ±``full_scale_v``.
+    """
+    return (code - 0x8000) / 0x8000 * full_scale_v
+
+
+def volts_to_offset_trim(volts: float, full_scale_v: float = 0.1) -> int:
+    """Inverse of :func:`offset_trim_to_volts` with clamping."""
+    code = int(round(volts / full_scale_v * 0x8000)) + 0x8000
+    return max(0, min(0xFFFF, code))

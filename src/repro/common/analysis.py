@@ -1,0 +1,184 @@
+"""Waveform analysis helpers: settling, amplitude/phase extraction, fits.
+
+These are the measurement primitives behind both the PLL-locking figures
+(settling detection on the amplitude/phase-error traces) and the
+datasheet table (straight-line sensitivity fit, nonlinearity as maximum
+deviation from the fit, turn-on time as time-to-settle).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from .exceptions import ConfigurationError
+
+
+@dataclass(frozen=True)
+class LinearFit:
+    """Result of a least-squares straight-line fit ``y = slope * x + offset``."""
+
+    slope: float
+    offset: float
+    max_abs_residual: float
+    rms_residual: float
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        """Evaluate the fitted line at ``x``."""
+        return self.slope * np.asarray(x, dtype=np.float64) + self.offset
+
+
+def linear_fit(x: np.ndarray, y: np.ndarray) -> LinearFit:
+    """Least-squares straight-line fit with residual statistics."""
+    x = np.asarray(x, dtype=np.float64)
+    y = np.asarray(y, dtype=np.float64)
+    if x.shape != y.shape:
+        raise ConfigurationError("x and y must have the same shape")
+    if x.size < 2:
+        raise ConfigurationError("need at least two points for a linear fit")
+    slope, offset = np.polyfit(x, y, 1)
+    residuals = y - (slope * x + offset)
+    return LinearFit(slope=float(slope), offset=float(offset),
+                     max_abs_residual=float(np.max(np.abs(residuals))),
+                     rms_residual=float(np.sqrt(np.mean(residuals ** 2))))
+
+
+def nonlinearity_percent_fs(x: np.ndarray, y: np.ndarray,
+                            full_scale_output: Optional[float] = None) -> float:
+    """Nonlinearity as percent of full scale (best-fit-straight-line method).
+
+    Args:
+        x: stimulus values (e.g. applied rate in °/s).
+        y: measured output values.
+        full_scale_output: output span to normalise against; default is the
+            span predicted by the fit over the stimulus range.
+    """
+    fit = linear_fit(x, y)
+    if full_scale_output is None:
+        full_scale_output = abs(fit.slope) * (np.max(x) - np.min(x))
+    if full_scale_output == 0:
+        raise ConfigurationError("full-scale output is zero; cannot normalise")
+    return 100.0 * fit.max_abs_residual / full_scale_output
+
+
+def settling_time(t: np.ndarray, y: np.ndarray, final_value: Optional[float] = None,
+                  tolerance: float = 0.02) -> float:
+    """Time after which ``y`` stays within ``tolerance`` of its final value.
+
+    Args:
+        t: time stamps.
+        y: waveform.
+        final_value: settled value; defaults to the mean of the last 10 %.
+        tolerance: relative band (fraction of ``final_value`` magnitude, or
+            absolute if the final value is ~0).
+
+    Returns:
+        Settling time in the same unit as ``t``.  Returns ``t[-1]`` if the
+        waveform never settles.
+    """
+    t = np.asarray(t, dtype=np.float64)
+    y = np.asarray(y, dtype=np.float64)
+    if t.shape != y.shape or t.size < 4:
+        raise ConfigurationError("t and y must be equal-length arrays of >= 4 samples")
+    if final_value is None:
+        tail = max(1, len(y) // 10)
+        final_value = float(np.mean(y[-tail:]))
+    band = tolerance * max(abs(final_value), 1e-12)
+    outside = np.abs(y - final_value) > band
+    if not np.any(outside):
+        return float(t[0])
+    last_outside = int(np.max(np.nonzero(outside)))
+    if last_outside + 1 >= len(t):
+        return float(t[-1])
+    return float(t[last_outside + 1])
+
+
+def envelope_amplitude(x: np.ndarray, window: int) -> np.ndarray:
+    """Sliding-window amplitude estimate of a narrowband signal.
+
+    Uses ``sqrt(2) * RMS`` over a centred window, which equals the peak
+    amplitude for a sinusoid.  This is the measurement the AGC performs.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    if window < 2 or window > len(x):
+        raise ConfigurationError("window must be in [2, len(x)]")
+    squared = x ** 2
+    kernel = np.ones(window) / window
+    mean_sq = np.convolve(squared, kernel, mode="same")
+    return np.sqrt(2.0 * mean_sq)
+
+
+def tone_amplitude_phase(x: np.ndarray, freq_hz: float,
+                         sample_rate_hz: float) -> Tuple[float, float]:
+    """Amplitude and phase of the component of ``x`` at ``freq_hz``.
+
+    Single-bin DFT (correlation with a complex exponential); phase is in
+    radians relative to a cosine at the record start.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    if x.size < 4:
+        raise ConfigurationError("need at least 4 samples")
+    n = len(x)
+    t = np.arange(n) / sample_rate_hz
+    ref = np.exp(-2j * np.pi * freq_hz * t)
+    coeff = 2.0 * np.sum(x * ref) / n
+    return float(np.abs(coeff)), float(np.angle(coeff))
+
+
+def three_db_bandwidth(freqs_hz: np.ndarray, magnitude: np.ndarray) -> float:
+    """-3 dB bandwidth of a low-pass magnitude response.
+
+    The reference level is the magnitude of the lowest-frequency point.
+    Returns the interpolated frequency where the response first drops
+    3 dB below the reference; returns the last frequency if it never does.
+    """
+    freqs_hz = np.asarray(freqs_hz, dtype=np.float64)
+    magnitude = np.asarray(magnitude, dtype=np.float64)
+    if freqs_hz.shape != magnitude.shape or freqs_hz.size < 2:
+        raise ConfigurationError("freqs and magnitude must be equal-length arrays of >= 2")
+    order = np.argsort(freqs_hz)
+    freqs_hz = freqs_hz[order]
+    magnitude = magnitude[order]
+    ref = magnitude[0]
+    if ref <= 0:
+        raise ConfigurationError("reference magnitude must be > 0")
+    threshold = ref / np.sqrt(2.0)
+    below = magnitude < threshold
+    if not np.any(below):
+        return float(freqs_hz[-1])
+    idx = int(np.argmax(below))
+    if idx == 0:
+        return float(freqs_hz[0])
+    # linear interpolation between idx-1 and idx
+    f0, f1 = freqs_hz[idx - 1], freqs_hz[idx]
+    m0, m1 = magnitude[idx - 1], magnitude[idx]
+    if m0 == m1:
+        return float(f1)
+    frac = (m0 - threshold) / (m0 - m1)
+    return float(f0 + frac * (f1 - f0))
+
+
+def crossing_time(t: np.ndarray, y: np.ndarray, threshold: float,
+                  rising: bool = True) -> Optional[float]:
+    """First time ``y`` crosses ``threshold`` in the given direction.
+
+    Returns ``None`` if the crossing never happens.
+    """
+    t = np.asarray(t, dtype=np.float64)
+    y = np.asarray(y, dtype=np.float64)
+    if t.shape != y.shape or t.size < 2:
+        raise ConfigurationError("t and y must be equal-length arrays of >= 2 samples")
+    if rising:
+        hits = np.nonzero((y[:-1] < threshold) & (y[1:] >= threshold))[0]
+    else:
+        hits = np.nonzero((y[:-1] > threshold) & (y[1:] <= threshold))[0]
+    if hits.size == 0:
+        return None
+    i = int(hits[0])
+    y0, y1 = y[i], y[i + 1]
+    if y1 == y0:
+        return float(t[i + 1])
+    frac = (threshold - y0) / (y1 - y0)
+    return float(t[i] + frac * (t[i + 1] - t[i]))

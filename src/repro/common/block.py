@@ -1,0 +1,96 @@
+"""Base classes for sample-processing blocks.
+
+Every conditioning element — analog or digital — is modelled as a block
+that consumes one input sample per simulation step and produces one
+output sample (plus optional auxiliary signals published as attributes).
+This mirrors the paper's functional-block view at the MATLAB level: the
+same topology survives partitioning, only each block's internals get
+refined.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Iterable, Optional
+
+import numpy as np
+
+
+class Block(ABC):
+    """A single-input single-output sample-processing block.
+
+    Subclasses implement :meth:`step`; :meth:`process` is a convenience
+    that streams a whole numpy array through the block, preserving state
+    between calls (call :meth:`reset` to clear it).
+    """
+
+    def __init__(self, name: Optional[str] = None):
+        self._name = name or type(self).__name__
+
+    @property
+    def name(self) -> str:
+        """Instance name used in reports and traces."""
+        return self._name
+
+    @abstractmethod
+    def step(self, x: float) -> float:
+        """Process one input sample and return one output sample."""
+
+    def reset(self) -> None:
+        """Clear internal state.  Default implementation does nothing."""
+
+    def process(self, samples: Iterable[float]) -> np.ndarray:
+        """Stream an iterable of samples through :meth:`step`."""
+        return np.array([self.step(float(x)) for x in samples], dtype=np.float64)
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(name={self._name!r})"
+
+
+class Passthrough(Block):
+    """Identity block, useful as a default or in tests."""
+
+    def step(self, x: float) -> float:
+        return x
+
+
+class Gain(Block):
+    """Constant-gain block ``y = gain * x``."""
+
+    def __init__(self, gain: float, name: Optional[str] = None):
+        super().__init__(name)
+        self.gain = float(gain)
+
+    def step(self, x: float) -> float:
+        return self.gain * x
+
+
+class Saturator(Block):
+    """Clamp samples into ``[lo, hi]`` — models rail limiting."""
+
+    def __init__(self, lo: float, hi: float, name: Optional[str] = None):
+        super().__init__(name)
+        if lo > hi:
+            raise ValueError(f"lo ({lo}) must be <= hi ({hi})")
+        self.lo = float(lo)
+        self.hi = float(hi)
+
+    def step(self, x: float) -> float:
+        return min(max(x, self.lo), self.hi)
+
+
+class Cascade(Block):
+    """Series connection of blocks; output of one feeds the next."""
+
+    def __init__(self, blocks: Iterable[Block], name: Optional[str] = None):
+        super().__init__(name)
+        self.blocks = list(blocks)
+
+    def step(self, x: float) -> float:
+        for block in self.blocks:
+            x = block.step(x)
+        return x
+
+    def reset(self) -> None:
+        for block in self.blocks:
+            block.reset()

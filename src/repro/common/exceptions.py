@@ -1,0 +1,65 @@
+"""Exception hierarchy for the repro package.
+
+All library errors derive from :class:`ReproError` so applications can
+catch platform-related problems with a single ``except`` clause while
+still letting genuine programming errors (``TypeError`` and friends)
+propagate unchanged.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the repro library."""
+
+
+class ConfigurationError(ReproError):
+    """A component was configured with inconsistent or invalid parameters."""
+
+
+class FixedPointError(ReproError):
+    """Base class for fixed-point arithmetic errors."""
+
+
+class FixedPointOverflowError(FixedPointError):
+    """A value exceeded the representable range with ``overflow='error'``."""
+
+
+class RegisterError(ReproError):
+    """Invalid register-file access (unknown register, bad field, read-only write)."""
+
+
+class PartitioningError(ReproError):
+    """The partitioning engine could not find a feasible implementation."""
+
+
+class VerificationError(ReproError):
+    """A refinement step failed its equivalence check against the reference."""
+
+
+class SimulationError(ReproError):
+    """A simulation could not proceed (e.g. divergence, missing stimulus)."""
+
+
+class McuError(ReproError):
+    """Base class for microcontroller subsystem errors."""
+
+
+class IllegalOpcodeError(McuError):
+    """The 8051 core fetched an opcode it cannot execute."""
+
+
+class AssemblerError(McuError):
+    """The MCS-51 assembler rejected a source line."""
+
+
+class BusError(McuError):
+    """An access was issued to an unmapped bus address."""
+
+
+class JtagError(McuError):
+    """Illegal JTAG TAP operation or unknown instruction."""
+
+
+class CalibrationError(ReproError):
+    """Sensor calibration failed to converge or produced out-of-range trims."""

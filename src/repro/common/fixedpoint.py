@@ -1,0 +1,275 @@
+"""Fixed-point arithmetic used to model the hardwired digital section.
+
+The paper's DSP block is synthesised RTL: every signal has a finite word
+length and the behavioural (MATLAB) model is refined into a bit-true
+implementation.  :class:`QFormat` captures the word-length decision and
+the quantisation / overflow policy; :func:`quantize` applies it to
+scalars or numpy arrays.  :class:`FixedPointValue` wraps a quantised
+value so arithmetic between fixed-point operands stays bit-true.
+
+A ``QFormat(int_bits, frac_bits, signed=True)`` value occupies
+``int_bits + frac_bits + 1`` bits when signed (the extra bit is the sign
+bit), matching the common hardware ``sQx.y`` notation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Union
+
+import numpy as np
+
+from .exceptions import ConfigurationError, FixedPointOverflowError
+
+Number = Union[int, float, np.ndarray]
+
+_ROUNDING_MODES = ("nearest", "floor", "truncate")
+_OVERFLOW_MODES = ("saturate", "wrap", "error")
+
+
+@dataclass(frozen=True)
+class QFormat:
+    """Signed/unsigned Qm.n fixed-point format description.
+
+    Attributes:
+        int_bits: number of integer (magnitude) bits, excluding sign.
+        frac_bits: number of fractional bits.
+        signed: whether a sign bit is present.
+        rounding: one of ``"nearest"``, ``"floor"``, ``"truncate"``.
+        overflow: one of ``"saturate"``, ``"wrap"``, ``"error"``.
+    """
+
+    int_bits: int
+    frac_bits: int
+    signed: bool = True
+    rounding: str = "nearest"
+    overflow: str = "saturate"
+
+    def __post_init__(self) -> None:
+        if self.int_bits < 0 or self.frac_bits < 0:
+            raise ConfigurationError(
+                f"bit counts must be >= 0, got Q{self.int_bits}.{self.frac_bits}")
+        if self.int_bits + self.frac_bits == 0:
+            raise ConfigurationError("format must have at least one magnitude bit")
+        if self.rounding not in _ROUNDING_MODES:
+            raise ConfigurationError(
+                f"rounding must be one of {_ROUNDING_MODES}, got {self.rounding!r}")
+        if self.overflow not in _OVERFLOW_MODES:
+            raise ConfigurationError(
+                f"overflow must be one of {_OVERFLOW_MODES}, got {self.overflow!r}")
+
+    # -- derived properties -------------------------------------------------
+
+    @property
+    def word_length(self) -> int:
+        """Total number of bits including the sign bit (if signed)."""
+        return self.int_bits + self.frac_bits + (1 if self.signed else 0)
+
+    @property
+    def lsb(self) -> float:
+        """Weight of the least-significant bit."""
+        return 2.0 ** (-self.frac_bits)
+
+    @property
+    def max_value(self) -> float:
+        """Largest representable value."""
+        return 2.0 ** self.int_bits - self.lsb
+
+    @property
+    def min_value(self) -> float:
+        """Smallest (most negative) representable value."""
+        return -(2.0 ** self.int_bits) if self.signed else 0.0
+
+    @property
+    def range_span(self) -> float:
+        """``max_value - min_value``."""
+        return self.max_value - self.min_value
+
+    def describe(self) -> str:
+        """Human-readable format description, e.g. ``"sQ2.13 (16 bits)"``."""
+        prefix = "sQ" if self.signed else "uQ"
+        return f"{prefix}{self.int_bits}.{self.frac_bits} ({self.word_length} bits)"
+
+    # -- constructors -------------------------------------------------------
+
+    @classmethod
+    def from_word_length(cls, word_length: int, frac_bits: int,
+                         signed: bool = True, **kwargs) -> "QFormat":
+        """Build a format from a total word length and fractional bits."""
+        int_bits = word_length - frac_bits - (1 if signed else 0)
+        if int_bits < 0:
+            raise ConfigurationError(
+                f"word length {word_length} too small for {frac_bits} fractional bits")
+        return cls(int_bits, frac_bits, signed=signed, **kwargs)
+
+    # -- conversion ---------------------------------------------------------
+
+    def to_raw(self, value: Number) -> Number:
+        """Quantise ``value`` and return the integer raw code(s)."""
+        quantised = quantize(value, self)
+        raw = np.asarray(quantised) / self.lsb
+        raw = np.rint(raw).astype(np.int64)
+        if np.isscalar(value) or np.asarray(value).ndim == 0:
+            return int(raw)
+        return raw
+
+    def from_raw(self, raw: Number) -> Number:
+        """Convert integer raw code(s) back to real value(s)."""
+        result = np.asarray(raw, dtype=np.float64) * self.lsb
+        if np.isscalar(raw) or np.asarray(raw).ndim == 0:
+            return float(result)
+        return result
+
+
+def _round(scaled: np.ndarray, mode: str) -> np.ndarray:
+    if mode == "nearest":
+        return np.floor(scaled + 0.5)
+    if mode == "floor":
+        return np.floor(scaled)
+    # "truncate": round toward zero
+    return np.trunc(scaled)
+
+
+def quantize(value: Number, fmt: QFormat) -> Number:
+    """Quantise ``value`` (scalar or array) to ``fmt``.
+
+    Rounding and overflow handling follow ``fmt.rounding`` and
+    ``fmt.overflow``.  Scalars in, scalars out; arrays in, arrays out.
+
+    Raises:
+        FixedPointOverflowError: if the value is out of range and the
+            format uses ``overflow='error'``.
+    """
+    arr = np.asarray(value, dtype=np.float64)
+    scaled = arr / fmt.lsb
+    rounded = _round(scaled, fmt.rounding)
+
+    lo = fmt.min_value / fmt.lsb
+    hi = fmt.max_value / fmt.lsb
+
+    if fmt.overflow == "error":
+        if np.any(rounded > hi) or np.any(rounded < lo):
+            raise FixedPointOverflowError(
+                f"value {value!r} out of range for {fmt.describe()}")
+        clipped = rounded
+    elif fmt.overflow == "saturate":
+        clipped = np.clip(rounded, lo, hi)
+    else:  # wrap (two's complement style)
+        span = hi - lo + 1
+        clipped = ((rounded - lo) % span) + lo
+
+    result = clipped * fmt.lsb
+    if np.isscalar(value) or arr.ndim == 0:
+        return float(result)
+    return result
+
+
+def quantization_noise_power(fmt: QFormat) -> float:
+    """Theoretical quantisation noise power ``lsb**2 / 12`` for ``fmt``."""
+    return fmt.lsb ** 2 / 12.0
+
+
+class FixedPointValue:
+    """A scalar value bound to a :class:`QFormat`.
+
+    Arithmetic between two :class:`FixedPointValue` operands (or a
+    fixed-point operand and a plain number) produces a result quantised
+    to the left operand's format, mimicking an RTL assignment back into a
+    register of that format.
+    """
+
+    __slots__ = ("_fmt", "_value")
+
+    def __init__(self, value: float, fmt: QFormat):
+        self._fmt = fmt
+        self._value = quantize(float(value), fmt)
+
+    @property
+    def value(self) -> float:
+        """Quantised real value."""
+        return self._value
+
+    @property
+    def fmt(self) -> QFormat:
+        """The bound format."""
+        return self._fmt
+
+    @property
+    def raw(self) -> int:
+        """Integer raw code of the value."""
+        return self._fmt.to_raw(self._value)
+
+    def __float__(self) -> float:
+        return self._value
+
+    def __repr__(self) -> str:
+        return f"FixedPointValue({self._value!r}, {self._fmt.describe()})"
+
+    # -- arithmetic ---------------------------------------------------------
+
+    def _coerce(self, other: Union["FixedPointValue", float, int]) -> float:
+        if isinstance(other, FixedPointValue):
+            return other.value
+        return float(other)
+
+    def __add__(self, other) -> "FixedPointValue":
+        return FixedPointValue(self._value + self._coerce(other), self._fmt)
+
+    def __radd__(self, other) -> "FixedPointValue":
+        return self.__add__(other)
+
+    def __sub__(self, other) -> "FixedPointValue":
+        return FixedPointValue(self._value - self._coerce(other), self._fmt)
+
+    def __rsub__(self, other) -> "FixedPointValue":
+        return FixedPointValue(self._coerce(other) - self._value, self._fmt)
+
+    def __mul__(self, other) -> "FixedPointValue":
+        return FixedPointValue(self._value * self._coerce(other), self._fmt)
+
+    def __rmul__(self, other) -> "FixedPointValue":
+        return self.__mul__(other)
+
+    def __neg__(self) -> "FixedPointValue":
+        return FixedPointValue(-self._value, self._fmt)
+
+    def __eq__(self, other) -> bool:
+        if isinstance(other, FixedPointValue):
+            return self._value == other._value and self._fmt == other._fmt
+        if isinstance(other, (int, float)):
+            return self._value == float(other)
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash((self._value, self._fmt))
+
+
+# ---------------------------------------------------------------------------
+# Common formats used by the DSP chain
+# ---------------------------------------------------------------------------
+
+#: 16-bit datapath with 1 integer bit — typical for normalised samples.
+DSP16 = QFormat(int_bits=1, frac_bits=14, signed=True)
+
+#: 24-bit accumulator format used by filters and the PLL loop filter.
+ACC24 = QFormat(int_bits=3, frac_bits=20, signed=True)
+
+#: 12-bit ADC/DAC interface format.
+CONVERTER12 = QFormat(int_bits=0, frac_bits=11, signed=True)
+
+
+def format_for_bits(word_length: int, full_scale: float = 1.0,
+                    signed: bool = True) -> QFormat:
+    """Choose a Q format for a given total word length and full scale.
+
+    The integer bit count is the smallest that represents ``full_scale``;
+    the rest of the word is fractional.
+    """
+    if full_scale <= 0:
+        raise ConfigurationError("full scale must be > 0")
+    int_bits = max(0, int(np.ceil(np.log2(full_scale))))
+    frac_bits = word_length - int_bits - (1 if signed else 0)
+    if frac_bits < 0:
+        raise ConfigurationError(
+            f"word length {word_length} too small for full scale {full_scale}")
+    return QFormat(int_bits=int_bits, frac_bits=frac_bits, signed=signed)

@@ -1,0 +1,255 @@
+"""Memory-mapped control/status registers.
+
+The paper stresses that "several readable registers spread along the
+processing chain" let the 8051 firmware monitor the DSP and that every
+analog cell is "digitally controlled" through trim registers reachable
+over JTAG.  :class:`RegisterFile` provides that register fabric: named
+registers with bit fields, access control (RO/RW/W1C) and an address map
+so both the MCU bus bridge and the JTAG chain can reach them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterator, List, Optional, Tuple
+
+from .exceptions import RegisterError
+
+ACCESS_MODES = ("rw", "ro", "w1c")
+
+
+@dataclass
+class BitField:
+    """A named bit field inside a register.
+
+    Attributes:
+        name: field name, unique within the register.
+        lsb: position of the least-significant bit of the field.
+        width: field width in bits.
+        reset: value the field takes at reset.
+        doc: one-line description.
+    """
+
+    name: str
+    lsb: int
+    width: int = 1
+    reset: int = 0
+    doc: str = ""
+
+    def __post_init__(self) -> None:
+        if self.lsb < 0 or self.width < 1:
+            raise RegisterError(f"invalid field geometry for {self.name!r}")
+        if self.reset >= (1 << self.width):
+            raise RegisterError(
+                f"reset value {self.reset} does not fit in {self.width} bits "
+                f"for field {self.name!r}")
+
+    @property
+    def mask(self) -> int:
+        """Bit mask of the field within the register word."""
+        return ((1 << self.width) - 1) << self.lsb
+
+    def extract(self, word: int) -> int:
+        """Extract this field's value from a register word."""
+        return (word & self.mask) >> self.lsb
+
+    def insert(self, word: int, value: int) -> int:
+        """Return ``word`` with this field replaced by ``value``."""
+        if value < 0 or value >= (1 << self.width):
+            raise RegisterError(
+                f"value {value} does not fit in field {self.name!r} ({self.width} bits)")
+        return (word & ~self.mask) | (value << self.lsb)
+
+
+class Register:
+    """A single register with optional bit fields and access control."""
+
+    def __init__(self, name: str, address: int, width: int = 16,
+                 access: str = "rw", reset: int = 0,
+                 fields: Optional[List[BitField]] = None, doc: str = ""):
+        if access not in ACCESS_MODES:
+            raise RegisterError(f"access must be one of {ACCESS_MODES}, got {access!r}")
+        if width < 1 or width > 64:
+            raise RegisterError(f"register width must be in [1, 64], got {width}")
+        self.name = name
+        self.address = address
+        self.width = width
+        self.access = access
+        self.doc = doc
+        self.fields: Dict[str, BitField] = {}
+        self._reset_value = reset & self._mask()
+        self._value = self._reset_value
+        for f in fields or []:
+            self.add_field(f)
+        # recompute reset from fields if any define resets
+        if fields:
+            word = reset
+            for f in fields:
+                word = f.insert(word, f.reset)
+            self._reset_value = word & self._mask()
+            self._value = self._reset_value
+
+    def _mask(self) -> int:
+        return (1 << self.width) - 1
+
+    def add_field(self, bitfield: BitField) -> None:
+        """Register a bit field; fields must not overlap."""
+        if bitfield.lsb + bitfield.width > self.width:
+            raise RegisterError(
+                f"field {bitfield.name!r} does not fit in register {self.name!r}")
+        for existing in self.fields.values():
+            if existing.mask & bitfield.mask:
+                raise RegisterError(
+                    f"field {bitfield.name!r} overlaps {existing.name!r} in {self.name!r}")
+        if bitfield.name in self.fields:
+            raise RegisterError(f"duplicate field {bitfield.name!r} in {self.name!r}")
+        self.fields[bitfield.name] = bitfield
+
+    @property
+    def value(self) -> int:
+        """Current register value (always masked to the register width)."""
+        return self._value & self._mask()
+
+    def read(self) -> int:
+        """Bus read: returns the current value (all access modes are readable)."""
+        return self.value
+
+    def write(self, value: int) -> None:
+        """Bus write honouring the access mode.
+
+        * ``rw``  — value is stored.
+        * ``ro``  — write is ignored (hardware-owned register).
+        * ``w1c`` — writing 1 to a bit clears it (interrupt-flag style).
+        """
+        value &= self._mask()
+        if self.access == "ro":
+            return
+        if self.access == "w1c":
+            self._value &= ~value & self._mask()
+            return
+        self._value = value
+
+    def hw_write(self, value: int) -> None:
+        """Hardware-side write that bypasses access control."""
+        self._value = value & self._mask()
+
+    def read_field(self, field_name: str) -> int:
+        """Read a named bit field."""
+        return self._field(field_name).extract(self._value)
+
+    def write_field(self, field_name: str, value: int) -> None:
+        """Write a named bit field (honours access mode via :meth:`write`)."""
+        word = self._field(field_name).insert(self._value, value)
+        if self.access == "ro":
+            return
+        self._value = word & self._mask()
+
+    def hw_write_field(self, field_name: str, value: int) -> None:
+        """Hardware-side field write bypassing access control."""
+        self._value = self._field(field_name).insert(self._value, value) & self._mask()
+
+    def reset(self) -> None:
+        """Restore the reset value."""
+        self._value = self._reset_value
+
+    def _field(self, name: str) -> BitField:
+        try:
+            return self.fields[name]
+        except KeyError:
+            raise RegisterError(f"register {self.name!r} has no field {name!r}") from None
+
+    def __repr__(self) -> str:
+        return (f"Register({self.name!r}, addr=0x{self.address:04X}, "
+                f"value=0x{self.value:0{(self.width + 3) // 4}X})")
+
+
+class RegisterFile:
+    """A collection of registers addressable by name or bus address."""
+
+    def __init__(self, name: str = "regs"):
+        self.name = name
+        self._by_name: Dict[str, Register] = {}
+        self._by_addr: Dict[int, Register] = {}
+        self._write_callbacks: Dict[str, List[Callable[[int], None]]] = {}
+
+    def add(self, register: Register) -> Register:
+        """Add a register; names and addresses must be unique."""
+        if register.name in self._by_name:
+            raise RegisterError(f"duplicate register name {register.name!r}")
+        if register.address in self._by_addr:
+            raise RegisterError(
+                f"address 0x{register.address:04X} already used by "
+                f"{self._by_addr[register.address].name!r}")
+        self._by_name[register.name] = register
+        self._by_addr[register.address] = register
+        return register
+
+    def define(self, name: str, address: int, **kwargs) -> Register:
+        """Create and add a register in one call."""
+        return self.add(Register(name, address, **kwargs))
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._by_name
+
+    def __iter__(self) -> Iterator[Register]:
+        return iter(sorted(self._by_name.values(), key=lambda r: r.address))
+
+    def __len__(self) -> int:
+        return len(self._by_name)
+
+    def register(self, name: str) -> Register:
+        """Look up a register by name."""
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise RegisterError(f"{self.name!r} has no register named {name!r}") from None
+
+    def at_address(self, address: int) -> Register:
+        """Look up a register by bus address."""
+        try:
+            return self._by_addr[address]
+        except KeyError:
+            raise RegisterError(
+                f"{self.name!r} has no register at address 0x{address:04X}") from None
+
+    # -- bus-style access ---------------------------------------------------
+
+    def read(self, name: str) -> int:
+        """Read a register by name."""
+        return self.register(name).read()
+
+    def write(self, name: str, value: int) -> None:
+        """Write a register by name and fire any write callbacks."""
+        reg = self.register(name)
+        reg.write(value)
+        for callback in self._write_callbacks.get(name, []):
+            callback(reg.value)
+
+    def bus_read(self, address: int) -> int:
+        """Read a register by bus address."""
+        return self.at_address(address).read()
+
+    def bus_write(self, address: int, value: int) -> None:
+        """Write a register by bus address and fire callbacks."""
+        reg = self.at_address(address)
+        reg.write(value)
+        for callback in self._write_callbacks.get(reg.name, []):
+            callback(reg.value)
+
+    def on_write(self, name: str, callback: Callable[[int], None]) -> None:
+        """Register a callback fired after a bus write to ``name``."""
+        self.register(name)  # validate
+        self._write_callbacks.setdefault(name, []).append(callback)
+
+    def reset(self) -> None:
+        """Reset every register to its reset value."""
+        for reg in self._by_name.values():
+            reg.reset()
+
+    def dump(self) -> Dict[str, int]:
+        """Snapshot of every register value keyed by name."""
+        return {name: reg.value for name, reg in sorted(self._by_name.items())}
+
+    def address_map(self) -> List[Tuple[int, str, int]]:
+        """Sorted ``(address, name, value)`` triples for reports."""
+        return [(reg.address, reg.name, reg.value) for reg in self]

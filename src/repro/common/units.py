@@ -1,0 +1,155 @@
+"""Physical units, constants and conversions used across the platform.
+
+The sensor-conditioning domain mixes mechanical quantities (angular rate
+in degrees per second), electrical quantities (volts, amps, farads) and
+signal-processing quantities (dB, dBFS, Hz).  Keeping every conversion in
+one place avoids the classic radians-vs-degrees and single-sided vs
+double-sided PSD mistakes.
+"""
+
+from __future__ import annotations
+
+import math
+
+# ---------------------------------------------------------------------------
+# Constants
+# ---------------------------------------------------------------------------
+
+#: Boltzmann constant [J/K] — used for thermal (Johnson) and Brownian noise.
+BOLTZMANN = 1.380649e-23
+
+#: Absolute zero offset between Celsius and Kelvin.
+KELVIN_OFFSET = 273.15
+
+#: Standard reference temperature for datasheet figures [°C].
+ROOM_TEMPERATURE_C = 25.0
+
+#: Automotive operating temperature range used throughout the paper [°C].
+AUTOMOTIVE_TEMP_MIN_C = -40.0
+AUTOMOTIVE_TEMP_MAX_C = 125.0
+
+#: Operating range of the gyro case study (Table 1) [°C].
+GYRO_TEMP_MIN_C = -40.0
+GYRO_TEMP_MAX_C = 85.0
+
+TWO_PI = 2.0 * math.pi
+
+
+# ---------------------------------------------------------------------------
+# Angular rate
+# ---------------------------------------------------------------------------
+
+def deg_to_rad(deg: float) -> float:
+    """Convert degrees to radians."""
+    return deg * math.pi / 180.0
+
+
+def rad_to_deg(rad: float) -> float:
+    """Convert radians to degrees."""
+    return rad * 180.0 / math.pi
+
+
+def dps_to_rps(dps: float) -> float:
+    """Convert an angular rate from degrees/second to radians/second."""
+    return deg_to_rad(dps)
+
+
+def rps_to_dps(rps: float) -> float:
+    """Convert an angular rate from radians/second to degrees/second."""
+    return rad_to_deg(rps)
+
+
+# ---------------------------------------------------------------------------
+# Temperature
+# ---------------------------------------------------------------------------
+
+def celsius_to_kelvin(celsius: float) -> float:
+    """Convert a temperature from degrees Celsius to Kelvin."""
+    return celsius + KELVIN_OFFSET
+
+
+def kelvin_to_celsius(kelvin: float) -> float:
+    """Convert a temperature from Kelvin to degrees Celsius."""
+    return kelvin - KELVIN_OFFSET
+
+
+# ---------------------------------------------------------------------------
+# Decibels
+# ---------------------------------------------------------------------------
+
+def db_to_linear(db: float) -> float:
+    """Convert an amplitude ratio expressed in dB to a linear ratio."""
+    return 10.0 ** (db / 20.0)
+
+
+def linear_to_db(ratio: float) -> float:
+    """Convert a linear amplitude ratio to dB.
+
+    Raises:
+        ValueError: if ``ratio`` is not strictly positive.
+    """
+    if ratio <= 0.0:
+        raise ValueError(f"amplitude ratio must be > 0, got {ratio!r}")
+    return 20.0 * math.log10(ratio)
+
+
+def power_db_to_linear(db: float) -> float:
+    """Convert a power ratio in dB to a linear ratio."""
+    return 10.0 ** (db / 10.0)
+
+
+def power_linear_to_db(ratio: float) -> float:
+    """Convert a linear power ratio to dB."""
+    if ratio <= 0.0:
+        raise ValueError(f"power ratio must be > 0, got {ratio!r}")
+    return 10.0 * math.log10(ratio)
+
+
+# ---------------------------------------------------------------------------
+# Frequency / time
+# ---------------------------------------------------------------------------
+
+def hz_to_rad_per_s(hz: float) -> float:
+    """Convert a frequency in hertz to angular frequency in rad/s."""
+    return TWO_PI * hz
+
+
+def rad_per_s_to_hz(w: float) -> float:
+    """Convert an angular frequency in rad/s to hertz."""
+    return w / TWO_PI
+
+
+def seconds_to_samples(duration_s: float, sample_rate_hz: float) -> int:
+    """Number of samples covering ``duration_s`` at ``sample_rate_hz``.
+
+    The result is rounded to the nearest integer and never negative.
+    """
+    if sample_rate_hz <= 0.0:
+        raise ValueError(f"sample rate must be > 0, got {sample_rate_hz!r}")
+    if duration_s < 0.0:
+        raise ValueError(f"duration must be >= 0, got {duration_s!r}")
+    return int(round(duration_s * sample_rate_hz))
+
+
+def samples_to_seconds(n_samples: int, sample_rate_hz: float) -> float:
+    """Duration in seconds of ``n_samples`` at ``sample_rate_hz``."""
+    if sample_rate_hz <= 0.0:
+        raise ValueError(f"sample rate must be > 0, got {sample_rate_hz!r}")
+    return n_samples / sample_rate_hz
+
+
+# ---------------------------------------------------------------------------
+# Voltage helpers
+# ---------------------------------------------------------------------------
+
+def volts_per_dps_to_volts(sensitivity_v_per_dps: float, rate_dps: float,
+                           null_v: float = 0.0) -> float:
+    """Ideal ratiometric output voltage for a given rate and sensitivity."""
+    return null_v + sensitivity_v_per_dps * rate_dps
+
+
+def full_scale_fraction(value: float, full_scale: float) -> float:
+    """Express ``value`` as a fraction of ``full_scale`` (unitless)."""
+    if full_scale == 0.0:
+        raise ValueError("full scale must be non-zero")
+    return value / full_scale

@@ -1,0 +1,41 @@
+"""Hardwired DSP block IPs: filters, NCO, mixers, PLL, AGC, compensation."""
+
+from .fir import FirFilter
+from .iir import BiquadFilter, IirFilter, OnePoleLowPass
+from .nco import Nco
+from .mixer import Mixer, Modulator, QuadratureDemodulator, SynchronousDemodulator
+from .pll import DigitalPll, PllConfig
+from .agc import AgcConfig, DriveAgc
+from .compensation import (
+    OffsetCompensation,
+    QuadratureCancellation,
+    RateScaler,
+    RateScalerConfig,
+    TemperatureCompensation,
+    TemperatureCompensationConfig,
+)
+from .decimator import CicDecimator, Downsampler
+
+__all__ = [
+    "FirFilter",
+    "BiquadFilter",
+    "IirFilter",
+    "OnePoleLowPass",
+    "Nco",
+    "Mixer",
+    "Modulator",
+    "QuadratureDemodulator",
+    "SynchronousDemodulator",
+    "DigitalPll",
+    "PllConfig",
+    "AgcConfig",
+    "DriveAgc",
+    "OffsetCompensation",
+    "QuadratureCancellation",
+    "RateScaler",
+    "RateScalerConfig",
+    "TemperatureCompensation",
+    "TemperatureCompensationConfig",
+    "CicDecimator",
+    "Downsampler",
+]

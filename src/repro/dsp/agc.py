@@ -1,0 +1,108 @@
+"""Automatic gain control for the primary drive amplitude.
+
+The gyro needs "an AGC (to control the amplitude of this vibration)":
+the drive force must be regulated so the ring vibrates with a constant,
+known amplitude, because the Coriolis coupling — and hence the rate
+sensitivity — is proportional to the primary velocity.  The AGC compares
+the measured pick-off amplitude (estimated by the PLL's quadrature arm)
+with a reference and adjusts the drive gain with a PI law, producing the
+"amplitude control" and "amplitude error" traces of Fig. 5.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..common.exceptions import ConfigurationError
+from ..common.fixedpoint import QFormat, quantize
+
+
+@dataclass
+class AgcConfig:
+    """Configuration of the drive AGC.
+
+    Attributes:
+        target_amplitude: desired pick-off amplitude (normalised ±1 FS).
+        kp: proportional gain.
+        ki: integral gain per sample.
+        max_gain: maximum drive gain (normalised DAC full scale).
+        min_gain: minimum drive gain.
+        startup_gain: gain applied while the amplitude estimate is still
+            essentially zero — kicks the resonator into motion.
+        settle_threshold: |amplitude error| below which the AGC reports
+            the amplitude as settled.
+        output_format: optional fixed-point format for the gain word.
+    """
+
+    target_amplitude: float = 0.5
+    kp: float = 0.4
+    ki: float = 1.0e-4
+    max_gain: float = 1.0
+    min_gain: float = 0.0
+    startup_gain: float = 0.62
+    settle_threshold: float = 0.03
+    output_format: Optional[QFormat] = None
+
+    def __post_init__(self) -> None:
+        if not 0 < self.target_amplitude <= 1.0:
+            raise ConfigurationError("target amplitude must be in (0, 1]")
+        if self.kp < 0 or self.ki < 0:
+            raise ConfigurationError("loop gains must be >= 0")
+        if not self.min_gain <= self.startup_gain <= self.max_gain:
+            raise ConfigurationError("startup gain must lie between min and max gain")
+        if self.min_gain < 0 or self.max_gain <= self.min_gain:
+            raise ConfigurationError("require 0 <= min_gain < max_gain")
+
+
+class DriveAgc:
+    """PI automatic gain control for the primary drive."""
+
+    def __init__(self, config: Optional[AgcConfig] = None):
+        self.config = config or AgcConfig()
+        self._integrator = self.config.startup_gain
+        self._gain = self.config.startup_gain
+        self._error = self.config.target_amplitude
+
+    @property
+    def gain(self) -> float:
+        """Current drive gain (the Fig. 5 "amplitude control" trace)."""
+        return self._gain
+
+    @property
+    def amplitude_error(self) -> float:
+        """Latest amplitude error (the Fig. 5 "amplitude error" trace)."""
+        return self._error
+
+    @property
+    def settled(self) -> bool:
+        """True when the amplitude error magnitude is within the threshold."""
+        return abs(self._error) < self.config.settle_threshold
+
+    def reset(self) -> None:
+        """Return to the start-up state."""
+        self._integrator = self.config.startup_gain
+        self._gain = self.config.startup_gain
+        self._error = self.config.target_amplitude
+
+    def step(self, amplitude_estimate: float) -> float:
+        """Update the drive gain from the latest amplitude estimate.
+
+        Args:
+            amplitude_estimate: measured primary pick-off amplitude
+                (normalised full scale), e.g. from
+                :attr:`~repro.dsp.pll.DigitalPll.amplitude_estimate`.
+
+        Returns:
+            The new drive gain in normalised DAC units.
+        """
+        cfg = self.config
+        self._error = cfg.target_amplitude - float(amplitude_estimate)
+        self._integrator += cfg.ki * self._error
+        self._integrator = max(cfg.min_gain, min(cfg.max_gain, self._integrator))
+        gain = cfg.kp * self._error + self._integrator
+        gain = max(cfg.min_gain, min(cfg.max_gain, gain))
+        if cfg.output_format is not None:
+            gain = quantize(gain, cfg.output_format)
+        self._gain = gain
+        return gain

@@ -1,0 +1,103 @@
+"""Sample-rate reduction IPs: CIC and generic decimators.
+
+The sense chain runs at the full acquisition rate (~120 kHz) but the
+rate output only needs a few hundred hertz of update rate, so the
+filtered rate signal is decimated before compensation, the SRAM data
+logger and the CPU status registers.  The CIC structure is the standard
+hardware-friendly way of doing that without multipliers.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..common.exceptions import ConfigurationError
+from ..common.fixedpoint import QFormat, quantize
+
+
+class CicDecimator:
+    """Cascaded integrator–comb decimator.
+
+    Args:
+        decimation: integer rate-change factor R.
+        order: number of integrator/comb stages N.
+        output_format: optional fixed-point output format.
+
+    The DC gain ``R**N`` is normalised out so a constant input produces
+    the same constant output.
+    """
+
+    def __init__(self, decimation: int, order: int = 2,
+                 output_format: Optional[QFormat] = None):
+        if decimation < 1 or int(decimation) != decimation:
+            raise ConfigurationError("decimation factor must be a positive integer")
+        if order < 1:
+            raise ConfigurationError("order must be >= 1")
+        self.decimation = int(decimation)
+        self.order = int(order)
+        self.output_format = output_format
+        self._integrators = [0.0] * self.order
+        self._combs = [0.0] * self.order
+        self._phase = 0
+        self._gain = float(self.decimation ** self.order)
+
+    def step(self, x: float) -> Optional[float]:
+        """Push one input sample; returns an output sample every R inputs."""
+        acc = x
+        for i in range(self.order):
+            self._integrators[i] += acc
+            acc = self._integrators[i]
+        self._phase += 1
+        if self._phase < self.decimation:
+            return None
+        self._phase = 0
+        value = acc
+        for i in range(self.order):
+            value, self._combs[i] = value - self._combs[i], value
+        y = value / self._gain
+        if self.output_format is not None:
+            y = quantize(y, self.output_format)
+        return y
+
+    def reset(self) -> None:
+        """Clear all integrator and comb state."""
+        self._integrators = [0.0] * self.order
+        self._combs = [0.0] * self.order
+        self._phase = 0
+
+    def process(self, samples) -> np.ndarray:
+        """Stream an array through the decimator, returning output samples."""
+        outputs = []
+        for x in np.asarray(samples, dtype=np.float64):
+            y = self.step(float(x))
+            if y is not None:
+                outputs.append(y)
+        return np.asarray(outputs)
+
+
+class Downsampler:
+    """Plain keep-one-in-N downsampler (no filtering).
+
+    Used after a filter that already provides the anti-alias rejection,
+    e.g. the narrow output low-pass of the rate channel.
+    """
+
+    def __init__(self, factor: int):
+        if factor < 1 or int(factor) != factor:
+            raise ConfigurationError("downsampling factor must be a positive integer")
+        self.factor = int(factor)
+        self._phase = 0
+
+    def step(self, x: float) -> Optional[float]:
+        """Push one sample; returns it on every N-th call, otherwise None."""
+        self._phase += 1
+        if self._phase < self.factor:
+            return None
+        self._phase = 0
+        return x
+
+    def reset(self) -> None:
+        """Restart the decimation phase."""
+        self._phase = 0

@@ -1,0 +1,124 @@
+"""Modulator / demodulator IPs.
+
+The sense chain demodulates the secondary pick-off with the drive
+reference to move the rate information from the ~15 kHz carrier down to
+base band (and to separate the in-phase Coriolis signal from the
+quadrature error); the modulators do the reverse for the secondary
+control electrode in the closed-loop (force-rebalance) configuration.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from ..common.block import Block
+from ..common.exceptions import ConfigurationError
+from ..common.fixedpoint import QFormat, quantize
+from .iir import OnePoleLowPass
+
+
+class Mixer(Block):
+    """Multiplying mixer ``y = x * reference`` with optional quantisation."""
+
+    def __init__(self, output_format: Optional[QFormat] = None,
+                 name: Optional[str] = None):
+        super().__init__(name)
+        self.output_format = output_format
+        self._reference = 0.0
+
+    def set_reference(self, reference: float) -> None:
+        """Update the local-oscillator sample used by the next :meth:`step`."""
+        self._reference = float(reference)
+
+    def step(self, x: float) -> float:
+        y = x * self._reference
+        if self.output_format is not None:
+            y = quantize(y, self.output_format)
+        return y
+
+    def mix(self, x: float, reference: float) -> float:
+        """One-call form: set the reference and mix one sample."""
+        self.set_reference(reference)
+        return self.step(x)
+
+
+class SynchronousDemodulator(Block):
+    """Coherent demodulator: mixer followed by a low-pass smoothing filter.
+
+    The output is scaled by 2 so that an input ``A*ref(t)`` (with a
+    unit-amplitude reference) demodulates to ``A``.
+    """
+
+    def __init__(self, cutoff_hz: float, sample_rate_hz: float,
+                 output_format: Optional[QFormat] = None,
+                 name: Optional[str] = None):
+        super().__init__(name)
+        if cutoff_hz <= 0 or sample_rate_hz <= 0:
+            raise ConfigurationError("cutoff and sample rate must be > 0")
+        self._mixer = Mixer(output_format=None)
+        self._filter = OnePoleLowPass(cutoff_hz, sample_rate_hz)
+        self.output_format = output_format
+
+    def step(self, x: float) -> float:
+        y = 2.0 * self._filter.step(self._mixer.step(x))
+        if self.output_format is not None:
+            y = quantize(y, self.output_format)
+        return y
+
+    def demodulate(self, x: float, reference: float) -> float:
+        """Demodulate one sample against the given reference sample."""
+        self._mixer.set_reference(reference)
+        return self.step(x)
+
+    def reset(self) -> None:
+        self._filter.reset()
+
+
+class QuadratureDemodulator:
+    """I/Q demodulator producing both in-phase and quadrature outputs.
+
+    Feeding the drive-locked NCO's cos as the in-phase reference and sin
+    as the quadrature reference separates the Coriolis (rate) channel
+    from the quadrature-error channel.
+    """
+
+    def __init__(self, cutoff_hz: float, sample_rate_hz: float,
+                 output_format: Optional[QFormat] = None):
+        self.in_phase = SynchronousDemodulator(cutoff_hz, sample_rate_hz,
+                                               output_format, name="demod_i")
+        self.quadrature = SynchronousDemodulator(cutoff_hz, sample_rate_hz,
+                                                 output_format, name="demod_q")
+
+    def step(self, x: float, ref_i: float, ref_q: float) -> Tuple[float, float]:
+        """Demodulate one sample against the I and Q references."""
+        return (self.in_phase.demodulate(x, ref_i),
+                self.quadrature.demodulate(x, ref_q))
+
+    def reset(self) -> None:
+        self.in_phase.reset()
+        self.quadrature.reset()
+
+
+class Modulator(Block):
+    """Amplitude modulator ``y = x * carrier`` (same core as the mixer).
+
+    Used to re-modulate the force-rebalance command onto the drive
+    carrier for the secondary control electrode.
+    """
+
+    def __init__(self, output_format: Optional[QFormat] = None,
+                 name: Optional[str] = None):
+        super().__init__(name)
+        self._mixer = Mixer(output_format)
+
+    def set_carrier(self, carrier: float) -> None:
+        """Update the carrier sample used by the next :meth:`step`."""
+        self._mixer.set_reference(carrier)
+
+    def step(self, x: float) -> float:
+        return self._mixer.step(x)
+
+    def modulate(self, x: float, carrier: float) -> float:
+        """One-call form: set the carrier and modulate one sample."""
+        self._mixer.set_reference(carrier)
+        return self._mixer.step(x)

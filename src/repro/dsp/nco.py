@@ -1,0 +1,88 @@
+"""Numerically controlled oscillator (NCO / DDS).
+
+The NCO generates the in-phase and quadrature references used by the
+drive PLL, the modulators that synthesise the electrode drive waveforms
+and the demodulators of the sense chain.  It is a classic phase
+accumulator: the tuning word sets the per-sample phase increment, and an
+optional output format quantises the sin/cos outputs as the RTL
+implementation's sine table would.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Tuple
+
+from ..common.exceptions import ConfigurationError
+from ..common.fixedpoint import QFormat, quantize
+
+TWO_PI = 2.0 * math.pi
+
+
+class Nco:
+    """Phase-accumulator oscillator with programmable centre frequency.
+
+    The instantaneous frequency is ``center_frequency_hz + tuning_hz``
+    where ``tuning_hz`` is the (bounded) frequency-control input — in the
+    drive PLL the loop filter drives it; in open-loop modulator use it
+    simply stays at zero.
+    """
+
+    def __init__(self, center_frequency_hz: float, sample_rate_hz: float,
+                 tuning_range_hz: float = 1000.0,
+                 output_format: Optional[QFormat] = None,
+                 initial_phase_rad: float = 0.0):
+        if center_frequency_hz <= 0:
+            raise ConfigurationError("centre frequency must be > 0")
+        if sample_rate_hz <= 2.0 * center_frequency_hz:
+            raise ConfigurationError(
+                "sample rate must be more than twice the centre frequency")
+        if tuning_range_hz < 0:
+            raise ConfigurationError("tuning range must be >= 0")
+        self.center_frequency_hz = float(center_frequency_hz)
+        self.sample_rate_hz = float(sample_rate_hz)
+        self.tuning_range_hz = float(tuning_range_hz)
+        self.output_format = output_format
+        self._initial_phase = float(initial_phase_rad)
+        self._phase = float(initial_phase_rad)
+        self._tuning_hz = 0.0
+
+    # -- control --------------------------------------------------------------
+
+    @property
+    def tuning_hz(self) -> float:
+        """Current frequency-control input (bounded to ±tuning_range_hz)."""
+        return self._tuning_hz
+
+    @tuning_hz.setter
+    def tuning_hz(self, value: float) -> None:
+        limit = self.tuning_range_hz
+        self._tuning_hz = max(-limit, min(limit, float(value)))
+
+    @property
+    def frequency_hz(self) -> float:
+        """Instantaneous output frequency."""
+        return self.center_frequency_hz + self._tuning_hz
+
+    @property
+    def phase(self) -> float:
+        """Current accumulator phase in radians, wrapped to [0, 2π)."""
+        return self._phase
+
+    def reset(self) -> None:
+        """Reset the phase accumulator and the tuning input."""
+        self._phase = self._initial_phase
+        self._tuning_hz = 0.0
+
+    # -- generation -------------------------------------------------------------
+
+    def step(self) -> Tuple[float, float]:
+        """Advance one sample and return ``(sin, cos)`` of the new phase."""
+        increment = TWO_PI * self.frequency_hz / self.sample_rate_hz
+        self._phase = (self._phase + increment) % TWO_PI
+        s = math.sin(self._phase)
+        c = math.cos(self._phase)
+        if self.output_format is not None:
+            s = quantize(s, self.output_format)
+            c = quantize(c, self.output_format)
+        return s, c

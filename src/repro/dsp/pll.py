@@ -1,0 +1,177 @@
+"""Digital PLL for the primary (drive) loop.
+
+The gyro "basically requires a PLL (for primary drive), which has to
+keep the ring in resonance (at a frequency of approximately 15 kHz)".
+This IP implements that PLL entirely in the digital domain:
+
+* a phase detector that multiplies the primary pick-off samples by the
+  NCO in-phase (cosine) reference and low-pass filters the product —
+  when the ring is driven exactly at resonance the pick-off lags the
+  drive by 90°, so the filtered product is zero;
+* a proportional–integral loop filter whose output is the VCO/NCO
+  frequency-control word ("VCO control" trace of Fig. 5);
+* the NCO itself, which supplies the drive reference (cosine) and the
+  demodulation references for the sense chain.
+
+The PLL also estimates the pick-off amplitude (quadrature arm) because
+the phase-detector gain is proportional to it; the estimate is shared
+with the AGC.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from ..common.exceptions import ConfigurationError
+from ..common.fixedpoint import QFormat
+from .iir import OnePoleLowPass
+from .nco import Nco
+
+
+@dataclass
+class PllConfig:
+    """Configuration of the drive PLL.
+
+    Attributes:
+        center_frequency_hz: NCO centre (free-running) frequency.
+        sample_rate_hz: DSP sample rate.
+        tuning_range_hz: maximum NCO frequency pull (±).
+        detector_cutoff_hz: phase-detector post-filter cutoff.
+        kp: proportional gain [Hz per unit normalised phase error].
+        ki: integral gain per sample [Hz per unit error per sample].
+        amplitude_threshold: minimum pick-off amplitude (normalised) before
+            the loop filter is allowed to act — below it the NCO free-runs.
+        lock_threshold: normalised phase-error magnitude below which the
+            loop is considered phase-locked.
+        lock_count: number of consecutive in-threshold samples required to
+            declare lock.
+        output_format: optional fixed-point format for the NCO references
+            (prototype / RTL mode).
+    """
+
+    center_frequency_hz: float = 15_000.0
+    sample_rate_hz: float = 120_000.0
+    tuning_range_hz: float = 750.0
+    detector_cutoff_hz: float = 400.0
+    kp: float = 8.0
+    ki: float = 1.5e-3
+    amplitude_threshold: float = 0.01
+    lock_threshold: float = 0.05
+    lock_count: int = 2_000
+    output_format: Optional[QFormat] = None
+
+    def __post_init__(self) -> None:
+        if self.center_frequency_hz <= 0 or self.sample_rate_hz <= 0:
+            raise ConfigurationError("frequencies must be > 0")
+        if self.sample_rate_hz <= 2.0 * self.center_frequency_hz:
+            raise ConfigurationError("sample rate must exceed twice the centre frequency")
+        if self.kp < 0 or self.ki < 0:
+            raise ConfigurationError("loop gains must be >= 0")
+        if self.lock_count < 1:
+            raise ConfigurationError("lock_count must be >= 1")
+
+
+class DigitalPll:
+    """Drive PLL: phase detector, PI loop filter and NCO."""
+
+    def __init__(self, config: Optional[PllConfig] = None):
+        self.config = config or PllConfig()
+        cfg = self.config
+        self.nco = Nco(cfg.center_frequency_hz, cfg.sample_rate_hz,
+                       tuning_range_hz=cfg.tuning_range_hz,
+                       output_format=cfg.output_format)
+        self._pd_filter = OnePoleLowPass(cfg.detector_cutoff_hz, cfg.sample_rate_hz)
+        self._amp_filter = OnePoleLowPass(cfg.detector_cutoff_hz, cfg.sample_rate_hz)
+        self._integrator = 0.0
+        self._phase_error = 0.0
+        self._amplitude = 0.0
+        self._lock_counter = 0
+        self._locked = False
+        self._sin_ref = 0.0
+        self._cos_ref = 1.0
+
+    # -- observables -----------------------------------------------------------
+
+    @property
+    def phase_error(self) -> float:
+        """Normalised phase error (the Fig. 5 "phase error" trace)."""
+        return self._phase_error
+
+    @property
+    def vco_control_hz(self) -> float:
+        """Frequency-control word applied to the NCO ("VCO control")."""
+        return self._integrator
+
+    @property
+    def frequency_hz(self) -> float:
+        """Instantaneous NCO output frequency."""
+        return self.nco.frequency_hz
+
+    @property
+    def amplitude_estimate(self) -> float:
+        """Estimated pick-off amplitude (normalised full scale)."""
+        return self._amplitude
+
+    @property
+    def locked(self) -> bool:
+        """True once phase lock has been continuously held for lock_count samples."""
+        return self._locked
+
+    @property
+    def references(self) -> Tuple[float, float]:
+        """Latest ``(sin, cos)`` NCO reference samples."""
+        return self._sin_ref, self._cos_ref
+
+    # -- operation --------------------------------------------------------------
+
+    def reset(self) -> None:
+        """Return the PLL to the free-running state."""
+        self.nco.reset()
+        self._pd_filter.reset()
+        self._amp_filter.reset()
+        self._integrator = 0.0
+        self._phase_error = 0.0
+        self._amplitude = 0.0
+        self._lock_counter = 0
+        self._locked = False
+        self._sin_ref = 0.0
+        self._cos_ref = 1.0
+
+    def step(self, pickoff_sample: float) -> Tuple[float, float]:
+        """Process one primary pick-off sample.
+
+        Returns:
+            ``(sin_ref, cos_ref)`` — the NCO references for this sample
+            (cos is the drive/in-phase reference, sin the quadrature).
+        """
+        cfg = self.config
+        sin_ref, cos_ref = self._sin_ref, self._cos_ref
+
+        # phase detector: in-phase product -> LPF
+        pd = self._pd_filter.step(pickoff_sample * cos_ref)
+        # amplitude estimate from the quadrature product (x ~ A*sin(phase))
+        amp = self._amp_filter.step(pickoff_sample * sin_ref)
+        self._amplitude = max(0.0, 2.0 * amp)
+
+        if self._amplitude > cfg.amplitude_threshold:
+            # normalise the detector output by the signal amplitude so the
+            # loop gain does not depend on the AGC operating point
+            error = 2.0 * pd / max(self._amplitude, cfg.amplitude_threshold)
+            self._integrator += cfg.ki * error
+            limit = cfg.tuning_range_hz
+            self._integrator = max(-limit, min(limit, self._integrator))
+            self.nco.tuning_hz = cfg.kp * error + self._integrator
+            self._phase_error = error
+            if abs(error) < cfg.lock_threshold:
+                self._lock_counter = min(self._lock_counter + 1, cfg.lock_count)
+            else:
+                self._lock_counter = 0
+        else:
+            # no signal yet: free-run at the centre frequency
+            self._phase_error = 0.0
+            self._lock_counter = 0
+
+        self._locked = self._lock_counter >= cfg.lock_count
+        self._sin_ref, self._cos_ref = self.nco.step()
+        return self._sin_ref, self._cos_ref

@@ -1,0 +1,135 @@
+"""Cross-device comparison report (the paper's Tables 1–3 side by side).
+
+The paper's claim is that the platform-derived implementation
+"outperforms current state-of-the-art commercial devices": lower rate
+noise and wider bandwidth than the ADXRS300 and the Gyrostar, at the
+cost of a longer turn-on time.  The comparison report lines up the
+measured performance of all three device models and states, per metric,
+which device wins, so the benches can assert the *shape* of the result
+rather than absolute numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..common.exceptions import ConfigurationError
+from .metrics import MeasuredPerformance
+
+#: Metrics where a smaller measured value is better.
+LOWER_IS_BETTER = ("noise_density_dps_rthz", "nonlinearity_pct_fs",
+                   "turn_on_time_ms")
+#: Metrics where a larger measured value is better.
+HIGHER_IS_BETTER = ("bandwidth_hz", "dynamic_range_dps")
+
+
+@dataclass
+class MetricComparison:
+    """Result of comparing one metric across devices."""
+
+    metric: str
+    unit: str
+    values: Dict[str, Optional[float]]
+    winner: Optional[str]
+
+    def format_row(self) -> str:
+        parts = [f"{self.metric:<28s}"]
+        for device, value in self.values.items():
+            text = f"{value:10.3f}" if value is not None else "       n/a"
+            parts.append(text)
+        winner = self.winner or "-"
+        return "".join(parts) + f"   best: {winner}"
+
+
+@dataclass
+class ComparisonReport:
+    """Comparison of several measured devices."""
+
+    devices: List[MeasuredPerformance]
+    metrics: List[MetricComparison] = field(default_factory=list)
+
+    def winner_of(self, metric: str) -> Optional[str]:
+        """Winning device name for a metric."""
+        for m in self.metrics:
+            if m.metric == metric:
+                return m.winner
+        raise ConfigurationError(f"no metric named {metric!r} in the report")
+
+    def format_table(self) -> str:
+        """Render the full comparison table."""
+        names = [d.device for d in self.devices]
+        header = f"{'Metric':<28s}" + "".join(f"{n[:10]:>10s}" for n in names)
+        rows = [m.format_row() for m in self.metrics]
+        return "\n".join([header, "-" * len(header)] + rows)
+
+
+def _metric_value(perf: MeasuredPerformance, metric: str) -> Optional[float]:
+    return getattr(perf, metric)
+
+
+def compare_devices(devices: Sequence[MeasuredPerformance]) -> ComparisonReport:
+    """Build the comparison report across measured devices."""
+    if len(devices) < 2:
+        raise ConfigurationError("need at least two devices to compare")
+    report = ComparisonReport(devices=list(devices))
+    metric_units = {
+        "sensitivity_mv_per_dps": "mV/deg/s",
+        "nonlinearity_pct_fs": "% FS",
+        "null_v": "V",
+        "turn_on_time_ms": "ms",
+        "noise_density_dps_rthz": "deg/s/rtHz",
+        "bandwidth_hz": "Hz",
+        "dynamic_range_dps": "deg/s",
+    }
+    for metric, unit in metric_units.items():
+        values = {d.device: _metric_value(d, metric) for d in devices}
+        winner = None
+        present = {k: v for k, v in values.items() if v is not None}
+        if present:
+            if metric in LOWER_IS_BETTER:
+                winner = min(present, key=present.get)
+            elif metric in HIGHER_IS_BETTER:
+                winner = max(present, key=present.get)
+        report.metrics.append(MetricComparison(metric=metric, unit=unit,
+                                               values=values, winner=winner))
+    return report
+
+
+def paper_shape_checks(report: ComparisonReport,
+                       platform_name_fragment: str = "SensorDynamics"
+                       ) -> Dict[str, bool]:
+    """Check the qualitative claims of the paper against a comparison report.
+
+    Returns a dict of named boolean checks:
+
+    * ``noise_beats_adxrs300`` — platform noise density below the ADXRS300's;
+    * ``bandwidth_beats_baselines`` — platform bandwidth above both baselines;
+    * ``turn_on_slower_than_adxrs300`` — the one metric where the paper's
+      implementation loses (500 ms vs 35 ms);
+    * ``sensitivity_matches_5mv`` — sensitivity within ±10 % of 5 mV/°/s.
+    """
+    def find(fragment: str) -> Optional[MeasuredPerformance]:
+        for d in report.devices:
+            if fragment.lower() in d.device.lower():
+                return d
+        return None
+
+    platform = find(platform_name_fragment)
+    adxrs = find("ADXRS300")
+    murata = find("Murata")
+    checks: Dict[str, bool] = {}
+    if platform and adxrs:
+        checks["noise_beats_adxrs300"] = (
+            (platform.noise_density_dps_rthz or 1e9)
+            < (adxrs.noise_density_dps_rthz or 0.0))
+        checks["turn_on_slower_than_adxrs300"] = (
+            (platform.turn_on_time_ms or 0.0) > (adxrs.turn_on_time_ms or 1e9))
+    if platform and adxrs and murata:
+        checks["bandwidth_beats_baselines"] = (
+            (platform.bandwidth_hz or 0.0) > (adxrs.bandwidth_hz or 1e9)
+            and (platform.bandwidth_hz or 0.0) > (murata.bandwidth_hz or 1e9))
+    if platform:
+        checks["sensitivity_matches_5mv"] = (
+            abs(platform.sensitivity_mv_per_dps - 5.0) < 0.5)
+    return checks

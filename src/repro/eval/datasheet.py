@@ -1,0 +1,144 @@
+"""Datasheet representation of gyro performance (Tables 1–3 of the paper).
+
+Each table in the paper is a min/typ/max datasheet excerpt.  The same
+structure is used both for the paper's published values (kept here as
+constants, used as the reference the benches compare against) and for
+the values measured on the simulated devices.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional
+
+from ..common.exceptions import ConfigurationError
+
+
+@dataclass(frozen=True)
+class DatasheetEntry:
+    """One datasheet row: a parameter with min/typ/max and a unit."""
+
+    parameter: str
+    unit: str
+    minimum: Optional[float] = None
+    typical: Optional[float] = None
+    maximum: Optional[float] = None
+
+    def best(self) -> Optional[float]:
+        """The most representative value (typ, else mean of min/max, else any)."""
+        if self.typical is not None:
+            return self.typical
+        present = [v for v in (self.minimum, self.maximum) if v is not None]
+        if not present:
+            return None
+        return sum(present) / len(present)
+
+    def format_row(self, width: int = 28) -> str:
+        """Render the row in the paper's min/typ/max column layout."""
+        def fmt(v: Optional[float]) -> str:
+            return f"{v:10.2f}" if v is not None else " " * 10
+        return (f"{self.parameter:<{width}s}"
+                f"{fmt(self.minimum)}{fmt(self.typical)}{fmt(self.maximum)}"
+                f"  {self.unit}")
+
+
+@dataclass
+class DeviceDatasheet:
+    """A named collection of datasheet entries (one of the paper's tables)."""
+
+    device: str
+    entries: List[DatasheetEntry] = field(default_factory=list)
+
+    def add(self, entry: DatasheetEntry) -> "DeviceDatasheet":
+        """Append an entry (chainable)."""
+        self.entries.append(entry)
+        return self
+
+    def entry(self, parameter: str) -> DatasheetEntry:
+        """Look up an entry by parameter name."""
+        for e in self.entries:
+            if e.parameter == parameter:
+                return e
+        raise ConfigurationError(
+            f"datasheet for {self.device!r} has no parameter {parameter!r}")
+
+    def __contains__(self, parameter: str) -> bool:
+        return any(e.parameter == parameter for e in self.entries)
+
+    def parameters(self) -> List[str]:
+        """Parameter names in table order."""
+        return [e.parameter for e in self.entries]
+
+    def format_table(self) -> str:
+        """Render the whole table in the paper's layout."""
+        header = (f"{self.device}\n{'Parameter':<28s}"
+                  f"{'Min.':>10s}{'Typ.':>10s}{'Max.':>10s}  Units\n" + "-" * 72)
+        return header + "\n" + "\n".join(e.format_row() for e in self.entries)
+
+
+# ---------------------------------------------------------------------------
+# Published values (the paper's Tables 1, 2 and 3)
+# ---------------------------------------------------------------------------
+
+#: Parameter names used consistently across all tables.
+P_DYNAMIC_RANGE = "Dynamic Range"
+P_SENS_INITIAL = "Sensitivity Initial"
+P_SENS_OVER_TEMP = "Sensitivity Over Temperature"
+P_NONLINEARITY = "Non Linearity"
+P_NULL_INITIAL = "Null Initial"
+P_NULL_OVER_TEMP = "Null Over Temperature"
+P_TURN_ON_TIME = "Turn On Time"
+P_NOISE_DENSITY = "Rate Noise Density"
+P_BANDWIDTH = "3 dB Bandwidth"
+P_OPERATING_TEMP_MIN = "Operating Temp Min"
+P_OPERATING_TEMP_MAX = "Operating Temp Max"
+
+
+def paper_table1_sensordynamics() -> DeviceDatasheet:
+    """Table 1: performance of the SensorDynamics implementation."""
+    return DeviceDatasheet("SensorDynamics (paper Table 1)", [
+        DatasheetEntry(P_DYNAMIC_RANGE, "deg/s", minimum=75.0, maximum=300.0),
+        DatasheetEntry(P_SENS_INITIAL, "mV/deg/s", 4.85, 5.00, 5.15),
+        DatasheetEntry(P_SENS_OVER_TEMP, "mV/deg/s", 4.80, 5.00, 5.20),
+        DatasheetEntry(P_NONLINEARITY, "% of FS", 0.07, 0.10, 0.20),
+        DatasheetEntry(P_NULL_INITIAL, "V", 2.53, None, 2.70),
+        DatasheetEntry(P_NULL_OVER_TEMP, "V", 2.53, None, 2.70),
+        DatasheetEntry(P_TURN_ON_TIME, "ms", None, None, 500.0),
+        DatasheetEntry(P_NOISE_DENSITY, "deg/s/rtHz", 0.04, 0.09, 0.13),
+        DatasheetEntry(P_BANDWIDTH, "Hz", 25.0, None, 75.0),
+        DatasheetEntry(P_OPERATING_TEMP_MIN, "degC", typical=-40.0),
+        DatasheetEntry(P_OPERATING_TEMP_MAX, "degC", typical=85.0),
+    ])
+
+
+def paper_table2_adxrs300() -> DeviceDatasheet:
+    """Table 2: Analog Devices ADXRS300 datasheet excerpt."""
+    return DeviceDatasheet("Analog Devices ADXRS300 (paper Table 2)", [
+        DatasheetEntry(P_DYNAMIC_RANGE, "deg/s", maximum=300.0),
+        DatasheetEntry(P_SENS_INITIAL, "mV/deg/s", 4.6, 5.0, 5.4),
+        DatasheetEntry(P_SENS_OVER_TEMP, "mV/deg/s", 4.6, 5.0, 5.4),
+        DatasheetEntry(P_NONLINEARITY, "% of FS", typical=0.10),
+        DatasheetEntry(P_NULL_INITIAL, "V", 2.30, None, 2.70),
+        DatasheetEntry(P_NULL_OVER_TEMP, "V", 2.30, None, 2.70),
+        DatasheetEntry(P_TURN_ON_TIME, "ms", typical=35.0),
+        DatasheetEntry(P_NOISE_DENSITY, "deg/s/rtHz", typical=0.1),
+        DatasheetEntry(P_BANDWIDTH, "Hz", typical=40.0),
+        DatasheetEntry(P_OPERATING_TEMP_MIN, "degC", typical=-40.0),
+        DatasheetEntry(P_OPERATING_TEMP_MAX, "degC", typical=85.0),
+    ])
+
+
+def paper_table3_murata_gyrostar() -> DeviceDatasheet:
+    """Table 3: Murata Gyrostar datasheet excerpt."""
+    return DeviceDatasheet("Murata Gyrostar (paper Table 3)", [
+        DatasheetEntry(P_DYNAMIC_RANGE, "deg/s", maximum=300.0),
+        DatasheetEntry(P_SENS_INITIAL, "mV/deg/s", 0.54, 0.67, 0.80),
+        DatasheetEntry(P_SENS_OVER_TEMP, "mV/deg/s", -5.0, None, 5.0),
+        DatasheetEntry(P_NONLINEARITY, "% of FS", typical=None),
+        DatasheetEntry(P_NULL_INITIAL, "V", typical=1.35),
+        DatasheetEntry(P_TURN_ON_TIME, "ms", typical=None),
+        DatasheetEntry(P_NOISE_DENSITY, "deg/s/rtHz", typical=None),
+        DatasheetEntry(P_BANDWIDTH, "Hz", maximum=50.0),
+        DatasheetEntry(P_OPERATING_TEMP_MIN, "degC", typical=-5.0),
+        DatasheetEntry(P_OPERATING_TEMP_MAX, "degC", typical=75.0),
+    ])

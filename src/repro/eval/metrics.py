@@ -1,0 +1,238 @@
+"""Datasheet-style characterisation harness for the gyro platform.
+
+This module measures, on the simulated platform, exactly the parameters
+the paper reports in Table 1: sensitivity (initial and over
+temperature), nonlinearity, null voltage (initial and over temperature),
+turn-on time, rate-noise density and 3 dB bandwidth.  The same
+:class:`MeasuredPerformance` container is produced for the baseline
+devices so the comparison report can line everything up.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..common.analysis import linear_fit, nonlinearity_percent_fs, three_db_bandwidth
+from ..common.exceptions import ConfigurationError
+from ..common.noise import band_average_density
+from ..common.units import ROOM_TEMPERATURE_C
+from ..platform.gyro_platform import GyroPlatform
+from ..sensors.environment import Environment
+from .datasheet import (
+    DatasheetEntry,
+    DeviceDatasheet,
+    P_BANDWIDTH,
+    P_DYNAMIC_RANGE,
+    P_NOISE_DENSITY,
+    P_NONLINEARITY,
+    P_NULL_INITIAL,
+    P_NULL_OVER_TEMP,
+    P_OPERATING_TEMP_MAX,
+    P_OPERATING_TEMP_MIN,
+    P_SENS_INITIAL,
+    P_SENS_OVER_TEMP,
+    P_TURN_ON_TIME,
+)
+
+
+@dataclass
+class MeasuredPerformance:
+    """Datasheet-style figures measured on one device.
+
+    All values use the same units as the paper's tables (mV/°/s, % of
+    full scale, volts, milliseconds, °/s/√Hz, hertz, °C).
+    """
+
+    device: str
+    dynamic_range_dps: float
+    sensitivity_mv_per_dps: float
+    sensitivity_over_temp_mv: Tuple[float, float]
+    nonlinearity_pct_fs: float
+    null_v: float
+    null_over_temp_v: Tuple[float, float]
+    turn_on_time_ms: Optional[float]
+    noise_density_dps_rthz: Optional[float]
+    bandwidth_hz: Optional[float]
+    operating_temp_c: Tuple[float, float] = (-40.0, 85.0)
+    details: Dict[str, float] = field(default_factory=dict)
+
+    def to_datasheet(self) -> DeviceDatasheet:
+        """Convert to the min/typ/max datasheet format of the paper."""
+        sens_lo, sens_hi = self.sensitivity_over_temp_mv
+        null_lo, null_hi = self.null_over_temp_v
+        sheet = DeviceDatasheet(self.device, [
+            DatasheetEntry(P_DYNAMIC_RANGE, "deg/s", maximum=self.dynamic_range_dps),
+            DatasheetEntry(P_SENS_INITIAL, "mV/deg/s",
+                           typical=self.sensitivity_mv_per_dps),
+            DatasheetEntry(P_SENS_OVER_TEMP, "mV/deg/s",
+                           minimum=min(sens_lo, sens_hi),
+                           maximum=max(sens_lo, sens_hi)),
+            DatasheetEntry(P_NONLINEARITY, "% of FS", typical=self.nonlinearity_pct_fs),
+            DatasheetEntry(P_NULL_INITIAL, "V", typical=self.null_v),
+            DatasheetEntry(P_NULL_OVER_TEMP, "V",
+                           minimum=min(null_lo, null_hi),
+                           maximum=max(null_lo, null_hi)),
+            DatasheetEntry(P_TURN_ON_TIME, "ms", maximum=self.turn_on_time_ms),
+            DatasheetEntry(P_NOISE_DENSITY, "deg/s/rtHz",
+                           typical=self.noise_density_dps_rthz),
+            DatasheetEntry(P_BANDWIDTH, "Hz", typical=self.bandwidth_hz),
+            DatasheetEntry(P_OPERATING_TEMP_MIN, "degC",
+                           typical=self.operating_temp_c[0]),
+            DatasheetEntry(P_OPERATING_TEMP_MAX, "degC",
+                           typical=self.operating_temp_c[1]),
+        ])
+        return sheet
+
+
+@dataclass
+class CharacterizationConfig:
+    """Durations and sweep points of the characterisation runs.
+
+    The defaults are sized for the benchmark harness; the unit tests use
+    shorter versions.
+    """
+
+    rate_points_dps: Sequence[float] = (-300.0, -200.0, -100.0, -50.0, 0.0,
+                                        50.0, 100.0, 200.0, 300.0)
+    settle_s: float = 0.2
+    noise_duration_s: float = 1.5
+    noise_band_hz: Tuple[float, float] = (2.0, 20.0)
+    bandwidth_probe_hz: Sequence[float] = (5.0, 20.0, 40.0, 60.0, 80.0)
+    bandwidth_amplitude_dps: float = 50.0
+    bandwidth_cycles: float = 8.0
+    temperatures_c: Sequence[float] = (-40.0, 85.0)
+    full_scale_dps: float = 300.0
+
+    def __post_init__(self) -> None:
+        if len(self.rate_points_dps) < 3:
+            raise ConfigurationError("need at least three rate points")
+        if self.settle_s <= 0 or self.noise_duration_s <= 0:
+            raise ConfigurationError("durations must be > 0")
+
+
+class GyroCharacterization:
+    """Characterises a (calibrated) :class:`GyroPlatform` like a datasheet."""
+
+    def __init__(self, platform: GyroPlatform,
+                 config: Optional[CharacterizationConfig] = None):
+        self.platform = platform
+        self.config = config or CharacterizationConfig()
+
+    # -- individual measurements -------------------------------------------------
+
+    def measure_rate_response(self, temperature_c: float = ROOM_TEMPERATURE_C
+                              ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Sweep the rate table and collect the settled analog outputs.
+
+        Returns:
+            ``(rates, output_volts, output_dps)`` arrays.
+        """
+        cfg = self.config
+        rates = np.asarray(cfg.rate_points_dps, dtype=np.float64)
+        volts = np.zeros_like(rates)
+        dps = np.zeros_like(rates)
+        for i, rate in enumerate(rates):
+            _, out_dps, out_v = self.platform.measure_settled_output(
+                float(rate), temperature_c, cfg.settle_s)
+            volts[i] = out_v
+            dps[i] = out_dps
+        return rates, volts, dps
+
+    def measure_sensitivity(self, temperature_c: float = ROOM_TEMPERATURE_C
+                            ) -> Tuple[float, float, float]:
+        """Measure sensitivity [mV/°/s], null [V] and nonlinearity [% FS]."""
+        rates, volts, _ = self.measure_rate_response(temperature_c)
+        fit = linear_fit(rates, volts)
+        nonlinearity = nonlinearity_percent_fs(
+            rates, volts, full_scale_output=abs(fit.slope) * 2.0
+            * self.config.full_scale_dps)
+        return 1000.0 * fit.slope, fit.offset, nonlinearity
+
+    def measure_noise_density(self, temperature_c: float = ROOM_TEMPERATURE_C
+                              ) -> float:
+        """Zero-rate rate-noise density in °/s/√Hz."""
+        cfg = self.config
+        result = self.platform.run(Environment.still(temperature_c),
+                                   cfg.noise_duration_s)
+        record = result.rate_output_dps
+        # drop the first 20 % to avoid any residual settling transient
+        record = record[len(record) // 5:]
+        return band_average_density(record, result.sample_rate_hz,
+                                    cfg.noise_band_hz)
+
+    def measure_bandwidth(self, method: str = "analytic") -> float:
+        """-3 dB bandwidth of the rate channel in hertz.
+
+        Args:
+            method: ``"analytic"`` evaluates the output-filter frequency
+                response (fast, used by the tests); ``"measured"`` applies
+                sinusoidal rates and measures the output amplitude ratio
+                (slow, used by the benches).
+        """
+        chain = self.platform.conditioner.sense_chain
+        if method == "analytic":
+            return chain.output_filter.three_db_bandwidth_hz(
+                chain.config.sample_rate_hz, max_freq_hz=500.0)
+        if method != "measured":
+            raise ConfigurationError("method must be 'analytic' or 'measured'")
+        cfg = self.config
+        freqs = np.asarray(cfg.bandwidth_probe_hz, dtype=np.float64)
+        gains = np.zeros_like(freqs)
+        for i, freq in enumerate(freqs):
+            duration = max(cfg.bandwidth_cycles / freq, 0.2)
+            result = self.platform.run(
+                Environment.sinusoidal_rate(cfg.bandwidth_amplitude_dps, freq),
+                duration)
+            tail = result.settled_slice(0.6)
+            response = result.rate_output_dps[tail]
+            amplitude = np.sqrt(2.0) * np.std(response)
+            gains[i] = amplitude / cfg.bandwidth_amplitude_dps
+        return three_db_bandwidth(freqs, gains)
+
+    def measure_turn_on_time(self, temperature_c: float = ROOM_TEMPERATURE_C
+                             ) -> float:
+        """Turn-on time in milliseconds (power-up to valid output)."""
+        result = self.platform.start(temperature_c)
+        if result.turn_on_time_s is None:
+            raise ConfigurationError("start-up did not complete")
+        return 1000.0 * result.turn_on_time_s
+
+    # -- the full datasheet --------------------------------------------------------
+
+    def characterize(self, include_noise: bool = True,
+                     include_temperature: bool = True,
+                     bandwidth_method: str = "analytic") -> MeasuredPerformance:
+        """Run the full characterisation and return the measured datasheet."""
+        cfg = self.config
+        turn_on_ms = self.measure_turn_on_time()
+        sens_mv, null_v, nonlin = self.measure_sensitivity()
+        sens_temp = [sens_mv]
+        null_temp = [null_v]
+        if include_temperature:
+            for temp in cfg.temperatures_c:
+                self.platform.start(temp)
+                s, n, _ = self.measure_sensitivity(temp)
+                sens_temp.append(s)
+                null_temp.append(n)
+            # return to room temperature operation
+            self.platform.start(ROOM_TEMPERATURE_C)
+        noise = self.measure_noise_density() if include_noise else None
+        bandwidth = self.measure_bandwidth(bandwidth_method)
+        return MeasuredPerformance(
+            device="SensorDynamics platform (simulated)",
+            dynamic_range_dps=cfg.full_scale_dps,
+            sensitivity_mv_per_dps=abs(sens_mv),
+            sensitivity_over_temp_mv=(min(abs(s) for s in sens_temp),
+                                      max(abs(s) for s in sens_temp)),
+            nonlinearity_pct_fs=nonlin,
+            null_v=null_v,
+            null_over_temp_v=(min(null_temp), max(null_temp)),
+            turn_on_time_ms=turn_on_ms,
+            noise_density_dps_rthz=noise,
+            bandwidth_hz=bandwidth,
+            operating_temp_c=(-40.0, 85.0),
+            details={"rate_points": len(cfg.rate_points_dps)},
+        )

@@ -1,0 +1,71 @@
+"""Platform-based design flow: stages, partitioning, DSE, verification, estimates."""
+
+from .stages import (
+    AbstractionLevel,
+    DesignFlow,
+    DesignFlowStage,
+    StageResult,
+    build_gyro_design_flow,
+)
+from .partitioning import (
+    ImplementationCandidate,
+    PartitioningResult,
+    PartitioningWeights,
+    SystemFunction,
+    gyro_system_functions,
+    partition,
+)
+from .prototype import (
+    AsicEstimateReport,
+    AsicProcess,
+    FpgaDevice,
+    FpgaPrototypeReport,
+    estimate_asic,
+    estimate_fpga_prototype,
+)
+from .verification import (
+    EquivalenceReport,
+    compare_traces,
+    require_pass,
+    verify_block_refinement,
+)
+from .dse import (
+    DesignPoint,
+    DseConfig,
+    EvaluatedPoint,
+    evaluate_point,
+    explore,
+    pareto_front,
+    recommend,
+)
+
+__all__ = [
+    "AbstractionLevel",
+    "DesignFlow",
+    "DesignFlowStage",
+    "StageResult",
+    "build_gyro_design_flow",
+    "ImplementationCandidate",
+    "PartitioningResult",
+    "PartitioningWeights",
+    "SystemFunction",
+    "gyro_system_functions",
+    "partition",
+    "AsicEstimateReport",
+    "AsicProcess",
+    "FpgaDevice",
+    "FpgaPrototypeReport",
+    "estimate_asic",
+    "estimate_fpga_prototype",
+    "EquivalenceReport",
+    "compare_traces",
+    "require_pass",
+    "verify_block_refinement",
+    "DesignPoint",
+    "DseConfig",
+    "EvaluatedPoint",
+    "evaluate_point",
+    "explore",
+    "pareto_front",
+    "recommend",
+]

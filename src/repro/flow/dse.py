@@ -1,0 +1,151 @@
+"""Design-space exploration over the platform's programmable parameters.
+
+"Through simulations, design iterations and functional blocks
+refinements a project space exploration can be performed."  The explorer
+sweeps the front-end / DSP parameters that the platform leaves
+programmable (ADC resolution, DSP word length, output-filter order and
+bandwidth) and scores each point with fast analytic models of the two
+costs that matter at this stage — rate-noise floor and digital size —
+so the designer can pick a point on the Pareto front before committing
+to the expensive mixed-signal simulation.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..common.exceptions import ConfigurationError
+
+
+@dataclass(frozen=True)
+class DesignPoint:
+    """One combination of programmable parameters."""
+
+    adc_bits: int
+    dsp_word_length: int
+    output_filter_order: int
+    output_bandwidth_hz: float
+
+
+@dataclass
+class EvaluatedPoint:
+    """A design point with its estimated performance and cost."""
+
+    point: DesignPoint
+    noise_density_dps_rthz: float
+    digital_gates: int
+    analog_area_mm2: float
+    score: float
+
+    def summary(self) -> str:
+        p = self.point
+        return (f"ADC {p.adc_bits} b, DSP {p.dsp_word_length} b, "
+                f"filter order {p.output_filter_order} @ {p.output_bandwidth_hz:.0f} Hz: "
+                f"noise {self.noise_density_dps_rthz:.3f} deg/s/rtHz, "
+                f"{self.digital_gates} gates, score {self.score:.3f}")
+
+
+@dataclass
+class DseConfig:
+    """Sweep ranges and scoring weights.
+
+    The noise model combines the mechanical (Brownian) noise floor with
+    the ADC and DSP quantisation noise referred to rate; the cost model
+    scales the filter/datapath gate counts with word length and order.
+    """
+
+    adc_bits: Sequence[int] = (8, 10, 12, 14)
+    dsp_word_lengths: Sequence[int] = (12, 16, 20, 24)
+    filter_orders: Sequence[int] = (2, 4, 6)
+    bandwidths_hz: Sequence[float] = (25.0, 50.0, 75.0)
+    mechanical_noise_dps_rthz: float = 0.05
+    full_scale_dps: float = 300.0
+    sample_rate_hz: float = 120_000.0
+    noise_weight: float = 10.0
+    gate_weight: float = 1e-5
+    area_weight: float = 0.2
+    max_noise_dps_rthz: float = 0.13
+
+    def __post_init__(self) -> None:
+        if not self.adc_bits or not self.dsp_word_lengths:
+            raise ConfigurationError("sweep ranges cannot be empty")
+
+
+def _estimate_noise(point: DesignPoint, cfg: DseConfig) -> float:
+    """Analytic rate-noise estimate for a design point."""
+    # ADC quantisation noise referred to rate: the full-scale rate maps to
+    # roughly 1/8 of the converter range through the secondary channel gain.
+    adc_lsb_rate = cfg.full_scale_dps * 8.0 / (2 ** point.adc_bits)
+    adc_density = adc_lsb_rate / np.sqrt(12.0) / np.sqrt(cfg.sample_rate_hz / 2.0)
+    dsp_lsb_rate = cfg.full_scale_dps * 2.0 / (2 ** point.dsp_word_length)
+    dsp_density = dsp_lsb_rate / np.sqrt(12.0) / np.sqrt(cfg.sample_rate_hz / 2.0)
+    # aliasing penalty for low filter orders: wideband noise folds into the
+    # output band when the roll-off is shallow
+    alias_penalty = 1.0 + 0.5 / point.output_filter_order
+    return float(np.sqrt(cfg.mechanical_noise_dps_rthz ** 2
+                         + (adc_density * alias_penalty) ** 2
+                         + dsp_density ** 2))
+
+
+def _estimate_gates(point: DesignPoint) -> int:
+    """Analytic digital-size estimate for a design point."""
+    datapath = 2200 * point.dsp_word_length          # PLL + AGC + demod datapath
+    filters = 900 * point.output_filter_order * point.dsp_word_length // 4
+    control = 30_000                                  # fixed control/monitor logic
+    return int(datapath + filters + control)
+
+
+def _estimate_analog_area(point: DesignPoint) -> float:
+    """Analog area estimate: the SAR ADC grows with resolution."""
+    return 2.5 + 0.18 * max(0, point.adc_bits - 8)
+
+
+def evaluate_point(point: DesignPoint, config: Optional[DseConfig] = None
+                   ) -> EvaluatedPoint:
+    """Evaluate one design point with the analytic models."""
+    cfg = config or DseConfig()
+    noise = _estimate_noise(point, cfg)
+    gates = _estimate_gates(point)
+    area = _estimate_analog_area(point)
+    score = (cfg.noise_weight * noise + cfg.gate_weight * gates
+             + cfg.area_weight * area)
+    return EvaluatedPoint(point, noise, gates, area, score)
+
+
+def explore(config: Optional[DseConfig] = None) -> List[EvaluatedPoint]:
+    """Evaluate the full sweep and return points sorted by score."""
+    cfg = config or DseConfig()
+    points = [DesignPoint(a, w, o, b)
+              for a, w, o, b in itertools.product(cfg.adc_bits, cfg.dsp_word_lengths,
+                                                  cfg.filter_orders, cfg.bandwidths_hz)]
+    evaluated = [evaluate_point(p, cfg) for p in points]
+    return sorted(evaluated, key=lambda e: e.score)
+
+
+def pareto_front(evaluated: Sequence[EvaluatedPoint]) -> List[EvaluatedPoint]:
+    """Noise-vs-gates Pareto-optimal subset of the evaluated points."""
+    front: List[EvaluatedPoint] = []
+    for candidate in evaluated:
+        dominated = any(
+            other.noise_density_dps_rthz <= candidate.noise_density_dps_rthz
+            and other.digital_gates <= candidate.digital_gates
+            and (other.noise_density_dps_rthz < candidate.noise_density_dps_rthz
+                 or other.digital_gates < candidate.digital_gates)
+            for other in evaluated)
+        if not dominated:
+            front.append(candidate)
+    return sorted(front, key=lambda e: e.noise_density_dps_rthz)
+
+
+def recommend(config: Optional[DseConfig] = None) -> EvaluatedPoint:
+    """Best-scoring point that meets the Table 1 noise requirement."""
+    cfg = config or DseConfig()
+    candidates = [e for e in explore(cfg)
+                  if e.noise_density_dps_rthz <= cfg.max_noise_dps_rthz]
+    if not candidates:
+        raise ConfigurationError("no design point satisfies the noise requirement")
+    return candidates[0]

@@ -1,0 +1,210 @@
+"""Analog / hardwired-digital / software partitioning.
+
+The design-space exploration at the MATLAB level "allows a first
+partitioning of the system in analog, hardwired and programmable
+(software) digital building blocks".  The engine here formalises that
+decision: each system *function* lists the implementation candidates it
+could be realised with (an analog cell, a digital IP or a firmware
+routine, each with its cost and performance metadata), plus constraints
+(e.g. "must be hardwired" for sample-rate processing, "must be software"
+for field-updatable services).  The engine picks the feasible assignment
+with minimum total cost and reports it.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..common.exceptions import PartitioningError
+from ..platform.ip_portfolio import Domain
+
+
+@dataclass(frozen=True)
+class ImplementationCandidate:
+    """One way of implementing a system function.
+
+    Attributes:
+        domain: implementation domain.
+        area_mm2: analog area cost.
+        gates: digital gate cost.
+        power_mw: power cost.
+        code_bytes: firmware footprint.
+        max_update_rate_hz: fastest rate this implementation can sustain.
+        flexibility: 0..1 score for post-silicon updatability.
+    """
+
+    domain: Domain
+    area_mm2: float = 0.0
+    gates: int = 0
+    power_mw: float = 0.0
+    code_bytes: int = 0
+    max_update_rate_hz: float = 1e9
+    flexibility: float = 0.0
+
+
+@dataclass
+class SystemFunction:
+    """A function of the conditioning system to be mapped onto a domain.
+
+    Attributes:
+        name: function name.
+        required_rate_hz: update rate the function must sustain.
+        candidates: allowed implementations.
+        requires_flexibility: needs post-silicon updatability (software).
+    """
+
+    name: str
+    required_rate_hz: float
+    candidates: List[ImplementationCandidate] = field(default_factory=list)
+    requires_flexibility: bool = False
+
+    def feasible_candidates(self) -> List[ImplementationCandidate]:
+        """Candidates satisfying the rate and flexibility requirements."""
+        feasible = [c for c in self.candidates
+                    if c.max_update_rate_hz >= self.required_rate_hz]
+        if self.requires_flexibility:
+            feasible = [c for c in feasible if c.flexibility >= 0.5]
+        return feasible
+
+
+@dataclass
+class PartitioningWeights:
+    """Relative weights of the cost terms."""
+
+    area_mm2: float = 10.0
+    gates: float = 0.0001
+    power_mw: float = 1.0
+    code_bytes: float = 0.0005
+
+
+@dataclass
+class PartitioningResult:
+    """Chosen assignment plus rolled-up cost."""
+
+    assignment: Dict[str, ImplementationCandidate]
+    total_cost: float
+    analog_area_mm2: float
+    digital_gates: int
+    power_mw: float
+    code_bytes: int
+
+    def domain_of(self, function_name: str) -> Domain:
+        """Domain the named function was mapped to."""
+        return self.assignment[function_name].domain
+
+    def functions_in_domain(self, domain: Domain) -> List[str]:
+        """Names of functions mapped to a domain."""
+        return sorted(name for name, cand in self.assignment.items()
+                      if cand.domain is domain)
+
+
+def _cost(candidate: ImplementationCandidate, weights: PartitioningWeights) -> float:
+    return (weights.area_mm2 * candidate.area_mm2
+            + weights.gates * candidate.gates
+            + weights.power_mw * candidate.power_mw
+            + weights.code_bytes * candidate.code_bytes)
+
+
+def partition(functions: Sequence[SystemFunction],
+              weights: Optional[PartitioningWeights] = None,
+              max_exhaustive: int = 4096) -> PartitioningResult:
+    """Choose the minimum-cost feasible implementation for every function.
+
+    The search is exhaustive when the candidate space is small (it is for
+    the gyro project) and greedy per-function otherwise.
+
+    Raises:
+        PartitioningError: if any function has no feasible candidate.
+    """
+    weights = weights or PartitioningWeights()
+    feasible_lists: List[List[ImplementationCandidate]] = []
+    for function in functions:
+        feasible = function.feasible_candidates()
+        if not feasible:
+            raise PartitioningError(
+                f"function {function.name!r} has no feasible implementation")
+        feasible_lists.append(feasible)
+
+    space = 1
+    for feasible in feasible_lists:
+        space *= len(feasible)
+
+    best_assignment: Optional[Tuple[ImplementationCandidate, ...]] = None
+    best_cost = float("inf")
+    if space <= max_exhaustive:
+        for combo in itertools.product(*feasible_lists):
+            cost = sum(_cost(c, weights) for c in combo)
+            if cost < best_cost:
+                best_cost = cost
+                best_assignment = combo
+    else:
+        best_assignment = tuple(min(feasible, key=lambda c: _cost(c, weights))
+                                for feasible in feasible_lists)
+        best_cost = sum(_cost(c, weights) for c in best_assignment)
+
+    assignment = {f.name: c for f, c in zip(functions, best_assignment)}
+    return PartitioningResult(
+        assignment=assignment,
+        total_cost=best_cost,
+        analog_area_mm2=sum(c.area_mm2 for c in best_assignment),
+        digital_gates=sum(c.gates for c in best_assignment),
+        power_mw=sum(c.power_mw for c in best_assignment),
+        code_bytes=sum(c.code_bytes for c in best_assignment),
+    )
+
+
+def gyro_system_functions() -> List[SystemFunction]:
+    """The gyro conditioning functions and their implementation candidates.
+
+    The candidate costs encode the paper's central argument: analog
+    implementations of the signal-processing functions cost area and
+    drift with temperature, so everything that can run at the sample rate
+    in digital logic should; monitoring/communication functions change
+    over the product's life, so they belong in software.
+    """
+    fast = 120_000.0
+    slow = 1_000.0
+    return [
+        SystemFunction("pickoff_acquisition", fast, [
+            ImplementationCandidate(Domain.ANALOG, area_mm2=2.2, power_mw=5.0),
+        ]),
+        SystemFunction("electrode_drive", fast, [
+            ImplementationCandidate(Domain.ANALOG, area_mm2=1.6, power_mw=4.0),
+        ]),
+        SystemFunction("drive_pll", fast, [
+            ImplementationCandidate(Domain.ANALOG, area_mm2=1.8, power_mw=3.0),
+            ImplementationCandidate(Domain.DIGITAL_HW, gates=20_000, power_mw=1.7),
+            ImplementationCandidate(Domain.SOFTWARE, code_bytes=2_000,
+                                    max_update_rate_hz=slow, flexibility=1.0),
+        ]),
+        SystemFunction("drive_agc", fast, [
+            ImplementationCandidate(Domain.ANALOG, area_mm2=1.0, power_mw=2.0),
+            ImplementationCandidate(Domain.DIGITAL_HW, gates=7_000, power_mw=0.6),
+            ImplementationCandidate(Domain.SOFTWARE, code_bytes=1_000,
+                                    max_update_rate_hz=slow, flexibility=1.0),
+        ]),
+        SystemFunction("rate_demodulation", fast, [
+            ImplementationCandidate(Domain.ANALOG, area_mm2=1.5, power_mw=2.5),
+            ImplementationCandidate(Domain.DIGITAL_HW, gates=10_000, power_mw=0.8),
+        ]),
+        SystemFunction("output_filtering", fast, [
+            ImplementationCandidate(Domain.ANALOG, area_mm2=2.0, power_mw=1.5),
+            ImplementationCandidate(Domain.DIGITAL_HW, gates=14_000, power_mw=1.2),
+        ]),
+        SystemFunction("temperature_compensation", slow, [
+            ImplementationCandidate(Domain.DIGITAL_HW, gates=9_000, power_mw=0.7),
+            ImplementationCandidate(Domain.SOFTWARE, code_bytes=1_500,
+                                    max_update_rate_hz=slow, flexibility=1.0),
+        ]),
+        SystemFunction("status_monitoring", 100.0, [
+            ImplementationCandidate(Domain.DIGITAL_HW, gates=5_000, power_mw=0.4),
+            ImplementationCandidate(Domain.SOFTWARE, code_bytes=2_048,
+                                    max_update_rate_hz=slow, flexibility=1.0),
+        ], requires_flexibility=True),
+        SystemFunction("communication_services", 100.0, [
+            ImplementationCandidate(Domain.SOFTWARE, code_bytes=3_072,
+                                    max_update_rate_hz=slow, flexibility=1.0),
+        ], requires_flexibility=True),
+    ]

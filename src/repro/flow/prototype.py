@@ -1,0 +1,121 @@
+"""Implementation estimators: FPGA prototype and ASIC integration.
+
+Section 4.3 reports the implementation figures of the case study: "the
+digital part of roughly 200 Kgates complexity has been implemented in a
+Xilinx X2S600E running a 20 MHz clock frequency" and the analog front
+end occupies "a 12 mm² custom chip implemented in a 0.35 µm CMOS
+technology".  The estimators roll the IP-portfolio metadata of a derived
+platform instance up to those figures and check prototype feasibility.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..common.exceptions import ConfigurationError
+from ..platform.generic import PlatformInstance
+from ..platform.ip_portfolio import Domain
+
+
+@dataclass
+class FpgaDevice:
+    """Capacity model of the prototyping FPGA.
+
+    The Spartan-IIE 600 (X2S600E) used by the paper is marketed as a
+    600 k-system-gate device; a realistic fraction of that is usable for
+    synthesised logic.
+    """
+
+    name: str = "Xilinx X2S600E"
+    system_gates: int = 600_000
+    usable_fraction: float = 0.55
+    max_clock_mhz: float = 50.0
+
+    def usable_gates(self) -> int:
+        """Gate capacity usable by synthesised logic."""
+        return int(self.system_gates * self.usable_fraction)
+
+
+@dataclass
+class FpgaPrototypeReport:
+    """Result of mapping the digital section onto the prototyping FPGA."""
+
+    device: str
+    design_gates: int
+    utilization: float
+    clock_mhz: float
+    timing_met: bool
+    fits: bool
+
+    def summary(self) -> str:
+        status = "OK" if (self.fits and self.timing_met) else "FAIL"
+        return (f"{self.device}: {self.design_gates} gates, "
+                f"{100 * self.utilization:.0f}% utilisation, "
+                f"{self.clock_mhz:.0f} MHz [{status}]")
+
+
+def estimate_fpga_prototype(instance: PlatformInstance,
+                            device: Optional[FpgaDevice] = None,
+                            clock_mhz: float = 20.0) -> FpgaPrototypeReport:
+    """Map a platform instance's digital section onto the prototyping FPGA."""
+    if clock_mhz <= 0:
+        raise ConfigurationError("clock frequency must be > 0")
+    device = device or FpgaDevice()
+    design_gates = sum(b.gates for b in instance.blocks_in_domain(Domain.DIGITAL_HW))
+    utilization = design_gates / device.usable_gates()
+    return FpgaPrototypeReport(
+        device=device.name,
+        design_gates=design_gates,
+        utilization=utilization,
+        clock_mhz=clock_mhz,
+        timing_met=clock_mhz <= device.max_clock_mhz,
+        fits=utilization <= 1.0,
+    )
+
+
+@dataclass
+class AsicProcess:
+    """0.35 µm mixed-signal CMOS process assumptions."""
+
+    name: str = "0.35 um CMOS"
+    gate_density_kgates_per_mm2: float = 18.0
+    routing_overhead: float = 1.25
+    pad_ring_mm2: float = 2.0
+
+
+@dataclass
+class AsicEstimateReport:
+    """Area/power roll-up of the single-chip integration."""
+
+    process: str
+    analog_area_mm2: float
+    digital_gates: int
+    digital_area_mm2: float
+    total_die_mm2: float
+    power_mw: float
+
+    def summary(self) -> str:
+        return (f"{self.process}: analog {self.analog_area_mm2:.1f} mm2 + "
+                f"digital {self.digital_area_mm2:.1f} mm2 "
+                f"({self.digital_gates} gates) + pads = "
+                f"{self.total_die_mm2:.1f} mm2, {self.power_mw:.1f} mW")
+
+
+def estimate_asic(instance: PlatformInstance,
+                  process: Optional[AsicProcess] = None) -> AsicEstimateReport:
+    """Estimate the single-chip (analog + digital) ASIC integration."""
+    process = process or AsicProcess()
+    analog_area = instance.analog_area_mm2
+    digital_gates = sum(b.gates for b in instance.blocks_in_domain(Domain.DIGITAL_HW))
+    digital_area = (digital_gates / 1000.0 / process.gate_density_kgates_per_mm2
+                    * process.routing_overhead)
+    total = analog_area + digital_area + process.pad_ring_mm2
+    return AsicEstimateReport(
+        process=process.name,
+        analog_area_mm2=analog_area,
+        digital_gates=digital_gates,
+        digital_area_mm2=digital_area,
+        total_die_mm2=total,
+        power_mw=instance.power_mw,
+    )

@@ -1,0 +1,161 @@
+"""The platform-based design flow of Fig. 1.
+
+The flow is a graph of stages — system-level MATLAB model, partitioning,
+digital refinement (behavioural → RTL → gate level), analog refinement
+(VHDL-AMS → transistor/schematic), software development, mixed-signal
+simulation, prototyping (FPGA + discrete AFE) and ASIC integration —
+with a verification step validating every refinement against the level
+above it.  :class:`DesignFlow` executes the stages in dependency order,
+records per-stage results and produces the flow report the benches print.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Callable, Dict, List, Optional
+
+from ..common.exceptions import ConfigurationError, SimulationError
+
+
+class AbstractionLevel(Enum):
+    """Abstraction levels traversed by the top-down flow (Fig. 1)."""
+
+    SYSTEM = "system-level (MATLAB)"
+    BEHAVIORAL_DIGITAL = "VHDL behavioural"
+    RTL = "VHDL RTL"
+    GATE = "VHDL gate level"
+    ANALOG_SPEC = "VHDL-AMS specification"
+    ANALOG_TRANSISTOR = "transistor-level schematic"
+    SOFTWARE = "C / assembly software"
+    PROTOTYPE = "FPGA + discrete AFE prototype"
+    ASIC = "0.35 um CMOS ASIC"
+
+
+@dataclass
+class StageResult:
+    """Outcome of one executed stage."""
+
+    name: str
+    passed: bool
+    details: Dict[str, float] = field(default_factory=dict)
+    message: str = ""
+
+
+@dataclass
+class DesignFlowStage:
+    """One stage of the flow.
+
+    Attributes:
+        name: stage name (unique within the flow).
+        level: abstraction level the stage produces.
+        depends_on: names of stages that must complete first.
+        action: callable executed for the stage; receives the shared
+            project context dict and returns a detail dict (or None).
+    """
+
+    name: str
+    level: AbstractionLevel
+    depends_on: List[str] = field(default_factory=list)
+    action: Optional[Callable[[Dict], Optional[Dict[str, float]]]] = None
+
+    def run(self, context: Dict) -> StageResult:
+        """Execute the stage action."""
+        try:
+            details = self.action(context) if self.action else {}
+            return StageResult(self.name, True, details or {})
+        except Exception as error:  # noqa: BLE001 - report, don't crash the flow
+            return StageResult(self.name, False, {}, message=str(error))
+
+
+class DesignFlow:
+    """Orders and executes design-flow stages."""
+
+    def __init__(self):
+        self._stages: Dict[str, DesignFlowStage] = {}
+        self.results: Dict[str, StageResult] = {}
+        self.context: Dict = {}
+
+    def add_stage(self, stage: DesignFlowStage) -> DesignFlowStage:
+        """Add a stage; names must be unique and dependencies must exist."""
+        if stage.name in self._stages:
+            raise ConfigurationError(f"duplicate stage {stage.name!r}")
+        for dep in stage.depends_on:
+            if dep not in self._stages:
+                raise ConfigurationError(
+                    f"stage {stage.name!r} depends on unknown stage {dep!r}")
+        self._stages[stage.name] = stage
+        return stage
+
+    def stage_names(self) -> List[str]:
+        """Stage names in insertion (and execution) order."""
+        return list(self._stages)
+
+    def execute(self, stop_on_failure: bool = True) -> List[StageResult]:
+        """Run all stages in order; dependencies must pass first."""
+        self.results = {}
+        ordered: List[StageResult] = []
+        for name, stage in self._stages.items():
+            blocked = [dep for dep in stage.depends_on
+                       if dep not in self.results or not self.results[dep].passed]
+            if blocked:
+                result = StageResult(name, False,
+                                     message=f"blocked by failed stages: {blocked}")
+            else:
+                result = stage.run(self.context)
+            self.results[name] = result
+            ordered.append(result)
+            if not result.passed and stop_on_failure:
+                break
+        return ordered
+
+    @property
+    def succeeded(self) -> bool:
+        """True when every stage has run and passed."""
+        return (len(self.results) == len(self._stages)
+                and all(r.passed for r in self.results.values()))
+
+    def report(self) -> str:
+        """Human-readable flow report (one line per stage)."""
+        lines = ["Platform-based design flow report", "=" * 60]
+        for name, stage in self._stages.items():
+            result = self.results.get(name)
+            if result is None:
+                status = "not run"
+            else:
+                status = "PASS" if result.passed else f"FAIL ({result.message})"
+            lines.append(f"{name:<28s} [{stage.level.value:<28s}] {status}")
+            if result and result.details:
+                for key, value in result.details.items():
+                    lines.append(f"    {key} = {value}")
+        return "\n".join(lines)
+
+
+def build_gyro_design_flow(project_actions: Optional[Dict[str, Callable]] = None
+                           ) -> DesignFlow:
+    """Build the Fig. 1 flow for the gyro project.
+
+    Args:
+        project_actions: optional mapping from stage name to the action
+            callable to execute; stages without an action are recorded as
+            completed documentation steps.
+    """
+    actions = project_actions or {}
+    flow = DesignFlow()
+    definition = [
+        ("system_model", AbstractionLevel.SYSTEM, []),
+        ("partitioning", AbstractionLevel.SYSTEM, ["system_model"]),
+        ("vhdl_behavioral", AbstractionLevel.BEHAVIORAL_DIGITAL, ["partitioning"]),
+        ("vhdl_rtl", AbstractionLevel.RTL, ["vhdl_behavioral"]),
+        ("gate_level", AbstractionLevel.GATE, ["vhdl_rtl"]),
+        ("vhdl_ams_model", AbstractionLevel.ANALOG_SPEC, ["partitioning"]),
+        ("analog_schematic", AbstractionLevel.ANALOG_TRANSISTOR, ["vhdl_ams_model"]),
+        ("software", AbstractionLevel.SOFTWARE, ["vhdl_behavioral"]),
+        ("mixed_simulation", AbstractionLevel.SYSTEM,
+         ["vhdl_rtl", "analog_schematic", "software"]),
+        ("prototyping", AbstractionLevel.PROTOTYPE, ["mixed_simulation"]),
+        ("asic_integration", AbstractionLevel.ASIC, ["prototyping"]),
+    ]
+    for name, level, deps in definition:
+        flow.add_stage(DesignFlowStage(name, level, deps, actions.get(name)))
+    return flow

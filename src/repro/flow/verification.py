@@ -1,0 +1,87 @@
+"""Refinement verification: comparing implementations across abstraction levels.
+
+"The result of a synthesis step is then validated with the previous one
+through a verification phase."  In this reproduction the behavioural
+(floating-point) and implementation (fixed-point / prototype) models are
+both executable, so verification is an equivalence check: run both on
+the same stimulus and bound the deviation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, Optional
+
+import numpy as np
+
+from ..common.exceptions import ConfigurationError, VerificationError
+
+
+@dataclass
+class EquivalenceReport:
+    """Result of a behavioural-vs-implementation comparison."""
+
+    samples_compared: int
+    max_abs_error: float
+    rms_error: float
+    tolerance: float
+    passed: bool
+
+    def summary(self) -> str:
+        status = "PASS" if self.passed else "FAIL"
+        return (f"{self.samples_compared} samples, max |e| = {self.max_abs_error:.3e}, "
+                f"rms = {self.rms_error:.3e}, tol = {self.tolerance:.3e} [{status}]")
+
+
+def compare_traces(reference: np.ndarray, implementation: np.ndarray,
+                   tolerance: float, skip_fraction: float = 0.0
+                   ) -> EquivalenceReport:
+    """Compare an implementation trace against the reference trace.
+
+    Args:
+        reference: behavioural (golden) output.
+        implementation: refined-model output on the same stimulus.
+        tolerance: maximum allowed absolute deviation.
+        skip_fraction: initial fraction of the records to ignore
+            (start-up transients differ harmlessly between levels).
+    """
+    reference = np.asarray(reference, dtype=np.float64)
+    implementation = np.asarray(implementation, dtype=np.float64)
+    if reference.shape != implementation.shape:
+        raise ConfigurationError("traces must have the same length")
+    if reference.size == 0:
+        raise ConfigurationError("traces are empty")
+    if not 0.0 <= skip_fraction < 1.0:
+        raise ConfigurationError("skip_fraction must be in [0, 1)")
+    start = int(reference.size * skip_fraction)
+    error = implementation[start:] - reference[start:]
+    max_abs = float(np.max(np.abs(error))) if error.size else 0.0
+    rms = float(np.sqrt(np.mean(error ** 2))) if error.size else 0.0
+    return EquivalenceReport(
+        samples_compared=int(error.size),
+        max_abs_error=max_abs,
+        rms_error=rms,
+        tolerance=tolerance,
+        passed=max_abs <= tolerance,
+    )
+
+
+def verify_block_refinement(reference_block, refined_block,
+                            stimulus: Iterable[float], tolerance: float,
+                            skip_fraction: float = 0.0) -> EquivalenceReport:
+    """Run two block implementations on the same stimulus and compare.
+
+    Both objects must expose a ``step(x) -> y`` method (the
+    :class:`~repro.common.block.Block` protocol).
+    """
+    stimulus = list(stimulus)
+    reference_out = np.array([reference_block.step(float(x)) for x in stimulus])
+    refined_out = np.array([refined_block.step(float(x)) for x in stimulus])
+    return compare_traces(reference_out, refined_out, tolerance, skip_fraction)
+
+
+def require_pass(report: EquivalenceReport, what: str = "refinement") -> None:
+    """Raise :class:`VerificationError` if the equivalence check failed."""
+    if not report.passed:
+        raise VerificationError(
+            f"{what} verification failed: {report.summary()}")

@@ -1,0 +1,42 @@
+"""Gyro conditioning chain: drive loop, sense chain, closed loop, start-up."""
+
+from .drive import DriveLoop, DriveLoopConfig
+from .sense import SenseChain, SenseChainConfig
+from .closedloop import ForceRebalanceConfig, ForceRebalanceController
+from .startup import StartupConfig, StartupSequencer, StartupState
+from .conditioning import (
+    DSP_REGISTER_MAP,
+    GyroConditioner,
+    GyroConditionerConfig,
+    build_dsp_registers,
+    q114_to_float,
+)
+from .calibration import (
+    ScaleCalibration,
+    fit_scale_factor,
+    fit_temperature_compensation,
+    null_voltage_error,
+    sensitivity_error_percent,
+)
+
+__all__ = [
+    "DriveLoop",
+    "DriveLoopConfig",
+    "SenseChain",
+    "SenseChainConfig",
+    "ForceRebalanceConfig",
+    "ForceRebalanceController",
+    "StartupConfig",
+    "StartupSequencer",
+    "StartupState",
+    "DSP_REGISTER_MAP",
+    "GyroConditioner",
+    "GyroConditionerConfig",
+    "build_dsp_registers",
+    "q114_to_float",
+    "ScaleCalibration",
+    "fit_scale_factor",
+    "fit_temperature_compensation",
+    "null_voltage_error",
+    "sensitivity_error_percent",
+]

@@ -1,0 +1,117 @@
+"""End-of-line calibration routines for the gyro conditioning chain.
+
+The paper's flow trims the platform to the sensor ("manual trimming can
+be performed and all intermediate data of the chain can be accessed"
+during prototyping).  In production the same steps run on a rate table
+in the factory: the part is rotated at known rates and temperatures and
+the scale factor, zero-rate offset and temperature-compensation
+polynomials are computed from the measured chain outputs and written to
+the compensation registers.
+
+These helpers implement the math of those steps; the platform object
+(:class:`~repro.platform.gyro_platform.GyroPlatform`) orchestrates the
+physical part — applying the rates and temperatures and collecting the
+settled chain outputs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from ..common.analysis import linear_fit
+from ..common.exceptions import CalibrationError
+from ..dsp.compensation import TemperatureCompensationConfig
+
+
+@dataclass(frozen=True)
+class ScaleCalibration:
+    """Result of the scale-factor calibration.
+
+    Attributes:
+        channel_per_dps: raw rate-channel units per °/s.
+        channel_offset: raw rate-channel value at zero rate.
+        residual_percent_fs: worst-case straight-line residual of the
+            calibration points, as % of full scale.
+    """
+
+    channel_per_dps: float
+    channel_offset: float
+    residual_percent_fs: float
+
+
+def fit_scale_factor(applied_rates_dps: Sequence[float],
+                     measured_channel: Sequence[float],
+                     full_scale_dps: float = 300.0) -> ScaleCalibration:
+    """Fit the rate-channel response to the applied calibration rates.
+
+    Args:
+        applied_rates_dps: rates applied on the rate table.
+        measured_channel: settled (uncompensated) rate-channel values.
+        full_scale_dps: full-scale rate used to normalise the residual.
+
+    Raises:
+        CalibrationError: if fewer than two points are supplied or the
+            response slope is degenerate.
+    """
+    rates = np.asarray(applied_rates_dps, dtype=np.float64)
+    channel = np.asarray(measured_channel, dtype=np.float64)
+    if rates.size < 2 or rates.size != channel.size:
+        raise CalibrationError("need at least two matched calibration points")
+    fit = linear_fit(rates, channel)
+    if abs(fit.slope) < 1e-15:
+        raise CalibrationError("rate response slope is zero; check the chain")
+    span = abs(fit.slope) * 2.0 * full_scale_dps
+    residual = 100.0 * fit.max_abs_residual / span
+    return ScaleCalibration(channel_per_dps=fit.slope,
+                            channel_offset=fit.offset,
+                            residual_percent_fs=residual)
+
+
+def fit_temperature_compensation(temperatures_c: Sequence[float],
+                                 zero_rate_channel: Sequence[float],
+                                 sensitivity_ratio: Sequence[float],
+                                 reference_temperature_c: float = 25.0
+                                 ) -> TemperatureCompensationConfig:
+    """Fit offset and sensitivity temperature-compensation polynomials.
+
+    Args:
+        temperatures_c: calibration temperatures.
+        zero_rate_channel: zero-rate channel value at each temperature
+            (after scale calibration, i.e. in the same units the offset
+            compensation operates on).
+        sensitivity_ratio: measured sensitivity at each temperature
+            divided by the sensitivity at the reference temperature.
+        reference_temperature_c: temperature at which no correction applies.
+
+    Returns:
+        A :class:`TemperatureCompensationConfig` with first-order offset
+        and sensitivity polynomials.
+    """
+    temps = np.asarray(temperatures_c, dtype=np.float64)
+    offsets = np.asarray(zero_rate_channel, dtype=np.float64)
+    ratios = np.asarray(sensitivity_ratio, dtype=np.float64)
+    if temps.size < 2 or temps.size != offsets.size or temps.size != ratios.size:
+        raise CalibrationError("need at least two matched calibration temperatures")
+    dt = temps - reference_temperature_c
+    offset_fit = np.polyfit(dt, offsets, 1)          # offsets ~ o1*dT + o0
+    sens_fit = np.polyfit(dt, ratios - 1.0, 1)       # ratio-1 ~ s1*dT + s0
+    return TemperatureCompensationConfig(
+        offset_poly=(float(offset_fit[1]), float(offset_fit[0])),
+        sensitivity_poly=(float(sens_fit[0]),))
+
+
+def null_voltage_error(measured_null_v: float, target_null_v: float = 2.5
+                       ) -> float:
+    """Null-trim error: how far the zero-rate output sits from the target."""
+    return measured_null_v - target_null_v
+
+
+def sensitivity_error_percent(measured_v_per_dps: float,
+                              target_v_per_dps: float = 0.005) -> float:
+    """Relative sensitivity error in percent of the target."""
+    if target_v_per_dps == 0:
+        raise CalibrationError("target sensitivity cannot be zero")
+    return 100.0 * (measured_v_per_dps - target_v_per_dps) / target_v_per_dps

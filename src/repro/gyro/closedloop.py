@@ -1,0 +1,103 @@
+"""Closed-loop (force-rebalance) secondary control.
+
+"A closed loop configuration exploits the control electrodes, by means
+of which the secondary vibration can be compensated, in order to let the
+sensor work around its rest point, thus achieving more linear and
+accurate measures."  The force-rebalance controller integrates the
+demodulated secondary motion and produces a counter-force command that
+is re-modulated onto the drive carrier and applied through the control
+DAC; in steady state the command amplitude is proportional to the rate,
+so it *is* the rate measurement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..common.exceptions import ConfigurationError
+from ..dsp.mixer import Modulator, SynchronousDemodulator
+
+
+@dataclass
+class ForceRebalanceConfig:
+    """Configuration of the force-rebalance controller.
+
+    Attributes:
+        sample_rate_hz: DSP sample rate.
+        demod_cutoff_hz: demodulator low-pass cutoff.
+        kp: proportional gain of the rebalance PI controller.
+        ki: integral gain per sample.
+        max_command: command saturation (normalised DAC full scale).
+    """
+
+    sample_rate_hz: float = 120_000.0
+    demod_cutoff_hz: float = 400.0
+    kp: float = 0.5
+    ki: float = 2e-3
+    max_command: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.sample_rate_hz <= 0:
+            raise ConfigurationError("sample rate must be > 0")
+        if self.kp < 0 or self.ki < 0:
+            raise ConfigurationError("gains must be >= 0")
+        if self.max_command <= 0:
+            raise ConfigurationError("max command must be > 0")
+
+
+class ForceRebalanceController:
+    """PI force-rebalance loop nulling the secondary vibration."""
+
+    def __init__(self, config: Optional[ForceRebalanceConfig] = None):
+        self.config = config or ForceRebalanceConfig()
+        cfg = self.config
+        self._demod = SynchronousDemodulator(cfg.demod_cutoff_hz, cfg.sample_rate_hz)
+        self._modulator = Modulator()
+        self._integrator = 0.0
+        self._command = 0.0
+        self._residual = 0.0
+
+    @property
+    def command(self) -> float:
+        """Baseband rebalance command — proportional to the rate."""
+        return self._command
+
+    @property
+    def residual_motion(self) -> float:
+        """Demodulated residual secondary motion (should approach zero)."""
+        return self._residual
+
+    def reset(self) -> None:
+        """Return to the open-command state."""
+        self._demod.reset()
+        self._integrator = 0.0
+        self._command = 0.0
+        self._residual = 0.0
+
+    def step(self, secondary_pickoff_norm: float, ref_cos: float) -> float:
+        """Process one sample and return the normalised control-DAC word.
+
+        Args:
+            secondary_pickoff_norm: normalised secondary pick-off sample.
+            ref_cos: in-phase (drive) reference from the PLL.
+
+        Returns:
+            The carrier-modulated control word for the control DAC.
+        """
+        cfg = self.config
+        self._residual = self._demod.demodulate(secondary_pickoff_norm, ref_cos)
+        self._integrator += cfg.ki * self._residual
+        limit = cfg.max_command
+        if self._integrator > limit:
+            self._integrator = limit
+        elif self._integrator < -limit:
+            self._integrator = -limit
+        command = cfg.kp * self._residual + self._integrator
+        if command > limit:
+            command = limit
+        elif command < -limit:
+            command = -limit
+        self._command = command
+        # re-modulate onto the carrier with opposite sign to oppose the motion
+        return self._modulator.modulate(-command, ref_cos)

@@ -1,0 +1,124 @@
+"""Primary drive loop: PLL plus AGC.
+
+The drive loop keeps the ring vibrating along its primary mode with a
+fixed amplitude at the resonance frequency:
+
+* the :class:`~repro.dsp.pll.DigitalPll` tracks the resonance and
+  supplies the in-phase (cosine) drive reference plus the quadrature
+  reference used by the sense-chain demodulators;
+* the :class:`~repro.dsp.agc.DriveAgc` regulates the pick-off amplitude
+  by scaling the drive reference before it reaches the drive DAC.
+
+The four observable traces of Fig. 5 / Fig. 6 (amplitude control, phase
+error, amplitude error, VCO control) are all exposed as properties.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+from ..common.exceptions import ConfigurationError
+from ..common.fixedpoint import QFormat
+from ..dsp.agc import AgcConfig, DriveAgc
+from ..dsp.pll import DigitalPll, PllConfig
+
+
+@dataclass
+class DriveLoopConfig:
+    """Configuration of the complete drive loop.
+
+    Attributes:
+        pll: drive PLL configuration.
+        agc: drive AGC configuration.
+        output_format: optional fixed-point format applied to the drive
+            word (prototype / RTL mode).
+    """
+
+    pll: PllConfig = field(default_factory=PllConfig)
+    agc: AgcConfig = field(default_factory=AgcConfig)
+    output_format: Optional[QFormat] = None
+
+    def __post_init__(self) -> None:
+        if self.agc.target_amplitude <= self.pll.amplitude_threshold:
+            raise ConfigurationError(
+                "AGC target amplitude must exceed the PLL amplitude threshold")
+
+
+class DriveLoop:
+    """Closed primary-drive loop (PLL + AGC)."""
+
+    def __init__(self, config: Optional[DriveLoopConfig] = None):
+        self.config = config or DriveLoopConfig()
+        self.pll = DigitalPll(self.config.pll)
+        self.agc = DriveAgc(self.config.agc)
+        self._drive_word = 0.0
+
+    # -- observables (Fig. 5 traces) -------------------------------------------
+
+    @property
+    def amplitude_control(self) -> float:
+        """AGC drive-gain word ("amplitude control" in Fig. 5)."""
+        return self.agc.gain
+
+    @property
+    def phase_error(self) -> float:
+        """PLL normalised phase error ("phase error" in Fig. 5)."""
+        return self.pll.phase_error
+
+    @property
+    def amplitude_error(self) -> float:
+        """AGC amplitude error ("amplitude error" in Fig. 5)."""
+        return self.agc.amplitude_error
+
+    @property
+    def vco_control(self) -> float:
+        """PLL integrator output in Hz ("VCO control" in Fig. 5)."""
+        return self.pll.vco_control_hz
+
+    @property
+    def drive_word(self) -> float:
+        """Latest normalised drive-DAC word."""
+        return self._drive_word
+
+    @property
+    def locked(self) -> bool:
+        """True when the PLL reports phase lock."""
+        return self.pll.locked
+
+    @property
+    def amplitude_settled(self) -> bool:
+        """True when the AGC reports the vibration amplitude is on target."""
+        return self.agc.settled
+
+    @property
+    def references(self) -> Tuple[float, float]:
+        """Latest ``(sin, cos)`` NCO references for the demodulators."""
+        return self.pll.references
+
+    # -- operation --------------------------------------------------------------
+
+    def reset(self) -> None:
+        """Return the loop to the power-on state."""
+        self.pll.reset()
+        self.agc.reset()
+        self._drive_word = 0.0
+
+    def step(self, primary_pickoff_norm: float) -> float:
+        """Process one primary pick-off sample and produce the drive word.
+
+        Args:
+            primary_pickoff_norm: normalised (±1 FS) ADC sample of the
+                primary pick-off.
+
+        Returns:
+            The normalised drive-DAC word for this sample.
+        """
+        sin_ref, cos_ref = self.pll.step(primary_pickoff_norm)
+        gain = self.agc.step(self.pll.amplitude_estimate)
+        drive = gain * cos_ref
+        if self.config.output_format is not None:
+            from ..common.fixedpoint import quantize
+            drive = quantize(drive, self.config.output_format)
+        self._drive_word = drive
+        return drive

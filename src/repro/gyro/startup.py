@@ -1,0 +1,132 @@
+"""Start-up sequencer for the gyro conditioning chain.
+
+Table 1 specifies a 500 ms maximum turn-on time.  The sequencer tracks
+the start-up progress through explicit states so both the firmware
+(which polls the status registers) and the characterisation harness
+(which measures the turn-on time) observe the same transitions:
+
+``POWER_ON → DRIVE_SPINUP → PLL_LOCKED → OUTPUT_SETTLING → RUNNING``
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Optional
+
+from ..common.exceptions import ConfigurationError
+
+
+class StartupState(Enum):
+    """States of the start-up sequence."""
+
+    POWER_ON = 0
+    DRIVE_SPINUP = 1
+    PLL_LOCKED = 2
+    OUTPUT_SETTLING = 3
+    RUNNING = 4
+
+
+@dataclass
+class StartupConfig:
+    """Configuration of the start-up sequencer.
+
+    Attributes:
+        sample_rate_hz: DSP sample rate used to convert times to samples.
+        settling_time_s: extra output-filter settling time granted after
+            the drive loop reports lock and amplitude on target.
+        watchdog_time_s: maximum allowed start-up time before the
+            sequencer reports a start-up failure.
+    """
+
+    sample_rate_hz: float = 120_000.0
+    settling_time_s: float = 0.1
+    watchdog_time_s: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.sample_rate_hz <= 0:
+            raise ConfigurationError("sample rate must be > 0")
+        if self.settling_time_s < 0 or self.watchdog_time_s <= 0:
+            raise ConfigurationError("times must be positive")
+
+
+class StartupSequencer:
+    """Tracks the start-up progress of the conditioning chain."""
+
+    def __init__(self, config: Optional[StartupConfig] = None):
+        self.config = config or StartupConfig()
+        self._state = StartupState.POWER_ON
+        self._sample_count = 0
+        self._settle_counter = 0
+        self._ready_sample: Optional[int] = None
+        self._failed = False
+
+    @property
+    def state(self) -> StartupState:
+        """Current start-up state."""
+        return self._state
+
+    @property
+    def running(self) -> bool:
+        """True once the chain has completed start-up."""
+        return self._state is StartupState.RUNNING
+
+    @property
+    def failed(self) -> bool:
+        """True if the watchdog expired before start-up completed."""
+        return self._failed
+
+    @property
+    def turn_on_time_s(self) -> Optional[float]:
+        """Measured turn-on time, or None if start-up has not finished."""
+        if self._ready_sample is None:
+            return None
+        return self._ready_sample / self.config.sample_rate_hz
+
+    def reset(self) -> None:
+        """Restart the sequence from POWER_ON."""
+        self._state = StartupState.POWER_ON
+        self._sample_count = 0
+        self._settle_counter = 0
+        self._ready_sample = None
+        self._failed = False
+
+    def step(self, pll_locked: bool, amplitude_settled: bool) -> StartupState:
+        """Advance the sequencer by one sample.
+
+        Args:
+            pll_locked: drive PLL lock indication.
+            amplitude_settled: AGC amplitude-on-target indication.
+
+        Returns:
+            The (possibly new) start-up state.
+        """
+        cfg = self.config
+        self._sample_count += 1
+        if not self.running and not self._failed:
+            if self._sample_count > cfg.watchdog_time_s * cfg.sample_rate_hz:
+                self._failed = True
+                return self._state
+
+        if self._state is StartupState.POWER_ON:
+            self._state = StartupState.DRIVE_SPINUP
+        elif self._state is StartupState.DRIVE_SPINUP:
+            if pll_locked:
+                self._state = StartupState.PLL_LOCKED
+        elif self._state is StartupState.PLL_LOCKED:
+            if amplitude_settled:
+                self._state = StartupState.OUTPUT_SETTLING
+                self._settle_counter = 0
+            elif not pll_locked:
+                self._state = StartupState.DRIVE_SPINUP
+        elif self._state is StartupState.OUTPUT_SETTLING:
+            # the amplitude must stay on target continuously for the whole
+            # settling window; any excursion restarts the wait
+            if amplitude_settled and pll_locked:
+                self._settle_counter += 1
+            else:
+                self._settle_counter = 0
+            if self._settle_counter >= cfg.settling_time_s * cfg.sample_rate_hz:
+                self._state = StartupState.RUNNING
+                self._ready_sample = self._sample_count
+        return self._state

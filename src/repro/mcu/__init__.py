@@ -1,0 +1,57 @@
+"""8051 microcontroller subsystem: ISS, assembler, buses, peripherals, JTAG."""
+
+from .memory import CodeMemory, ExternalBus, InternalRam
+from .core import Mcs51Core, SfrBus
+from .assembler import Assembler, assemble
+from .peripherals import (
+    BusBridge,
+    SpiController,
+    SpiEeprom,
+    SramController,
+    Timer,
+    Uart,
+    Watchdog,
+)
+from .jtag import (
+    IDCODE_VALUE,
+    INSTRUCTION_BYPASS,
+    INSTRUCTION_IDCODE,
+    INSTRUCTION_TRIM_ACCESS,
+    JtagTap,
+    TapState,
+)
+from .subsystem import (
+    BRIDGE_BASE,
+    FRAME_HEADER_LOCKED,
+    FRAME_HEADER_UNLOCKED,
+    MONITOR_FIRMWARE_SOURCE,
+    McuSubsystem,
+)
+
+__all__ = [
+    "CodeMemory",
+    "ExternalBus",
+    "InternalRam",
+    "Mcs51Core",
+    "SfrBus",
+    "Assembler",
+    "assemble",
+    "BusBridge",
+    "SpiController",
+    "SpiEeprom",
+    "SramController",
+    "Timer",
+    "Uart",
+    "Watchdog",
+    "IDCODE_VALUE",
+    "INSTRUCTION_BYPASS",
+    "INSTRUCTION_IDCODE",
+    "INSTRUCTION_TRIM_ACCESS",
+    "JtagTap",
+    "TapState",
+    "BRIDGE_BASE",
+    "FRAME_HEADER_LOCKED",
+    "FRAME_HEADER_UNLOCKED",
+    "MONITOR_FIRMWARE_SOURCE",
+    "McuSubsystem",
+]

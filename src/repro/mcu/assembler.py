@@ -1,0 +1,339 @@
+"""A small two-pass MCS-51 assembler.
+
+"Software development goes along with digital IP macrocells progress" —
+the monitoring and communication firmware in this repository is written
+as 8051 assembly source, assembled by this module and executed on the
+instruction-set simulator.  The assembler supports the instruction
+subset the ISS implements, labels, ``EQU`` constants, ``DB`` data bytes
+and ``ORG`` directives — enough for the boot/monitor/communication
+routines of the case study.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Optional, Tuple
+
+from ..common.exceptions import AssemblerError
+
+_REGISTER = re.compile(r"^R([0-7])$", re.IGNORECASE)
+
+
+def _parse_number(token: str, symbols: Dict[str, int]) -> int:
+    token = token.strip()
+    if token.startswith("#"):
+        token = token[1:]
+    if token in symbols:
+        return symbols[token]
+    try:
+        if token.lower().startswith("0x"):
+            return int(token, 16)
+        if token.lower().endswith("h"):
+            return int(token[:-1], 16)
+        return int(token, 10)
+    except ValueError:
+        raise AssemblerError(f"cannot parse numeric operand {token!r}") from None
+
+
+class Assembler:
+    """Two-pass assembler producing a flat binary image."""
+
+    def __init__(self):
+        self.symbols: Dict[str, int] = {}
+
+    # -- public API --------------------------------------------------------------
+
+    def assemble(self, source: str) -> bytes:
+        """Assemble a source listing into a binary image starting at 0."""
+        lines = self._clean(source)
+        self._first_pass(lines)
+        return self._second_pass(lines)
+
+    # -- helpers -------------------------------------------------------------------
+
+    def _clean(self, source: str) -> List[Tuple[Optional[str], str]]:
+        """Strip comments, split labels, return (label, statement) pairs."""
+        cleaned: List[Tuple[Optional[str], str]] = []
+        for raw in source.splitlines():
+            line = raw.split(";")[0].strip()
+            if not line:
+                continue
+            label = None
+            # classic "NAME EQU value" form (no colon)
+            equ_match = re.match(r"^(\w+)\s+EQU\s+(.+)$", line, re.IGNORECASE)
+            if equ_match:
+                cleaned.append((equ_match.group(1), f"EQU {equ_match.group(2)}"))
+                continue
+            if ":" in line:
+                label_part, _, rest = line.partition(":")
+                label = label_part.strip()
+                line = rest.strip()
+            cleaned.append((label, line))
+        return cleaned
+
+    def _statement_size(self, statement: str) -> int:
+        if not statement:
+            return 0
+        mnemonic, operands = self._split(statement)
+        if mnemonic == "ORG" or mnemonic == "EQU":
+            return 0
+        if mnemonic == "DB":
+            return len(operands)
+        return len(self._encode(mnemonic, operands, resolve_labels=False,
+                                current_address=0))
+
+    def _first_pass(self, lines: List[Tuple[Optional[str], str]]) -> None:
+        self.symbols = {}
+        address = 0
+        for label, statement in lines:
+            mnemonic, operands = self._split(statement) if statement else ("", [])
+            if mnemonic == "ORG":
+                address = _parse_number(operands[0], self.symbols)
+                if label:
+                    self.symbols[label] = address
+                continue
+            if mnemonic == "EQU":
+                if not label:
+                    raise AssemblerError("EQU requires a label")
+                self.symbols[label] = _parse_number(operands[0], self.symbols)
+                continue
+            if label:
+                self.symbols[label] = address
+            if statement:
+                address += self._statement_size(statement)
+
+    def _second_pass(self, lines: List[Tuple[Optional[str], str]]) -> bytes:
+        image = bytearray()
+        address = 0
+        for _, statement in lines:
+            if not statement:
+                continue
+            mnemonic, operands = self._split(statement)
+            if mnemonic == "EQU":
+                continue
+            if mnemonic == "ORG":
+                target = _parse_number(operands[0], self.symbols)
+                if target < address:
+                    raise AssemblerError("ORG cannot move backwards")
+                image.extend(b"\x00" * (target - address))
+                address = target
+                continue
+            if mnemonic == "DB":
+                data = bytes(_parse_number(op, self.symbols) & 0xFF
+                             for op in operands)
+                image.extend(data)
+                address += len(data)
+                continue
+            encoded = self._encode(mnemonic, operands, resolve_labels=True,
+                                   current_address=address)
+            image.extend(encoded)
+            address += len(encoded)
+        return bytes(image)
+
+    def _split(self, statement: str) -> Tuple[str, List[str]]:
+        parts = statement.split(None, 1)
+        mnemonic = parts[0].upper()
+        operands = []
+        if len(parts) > 1:
+            operands = [op.strip() for op in parts[1].split(",")]
+        return mnemonic, operands
+
+    def _value(self, token: str, resolve: bool, bits: int = 8) -> int:
+        value = _parse_number(token, self.symbols) if (resolve or
+                                                       not self._is_label(token)) else 0
+        return value & ((1 << bits) - 1)
+
+    def _is_label(self, token: str) -> bool:
+        token = token.lstrip("#")
+        return bool(re.match(r"^[A-Za-z_][A-Za-z0-9_]*$", token)) \
+            and token not in self.symbols and not _REGISTER.match(token) \
+            and token.upper() not in ("A", "C", "DPTR")
+
+    def _rel(self, token: str, current_address: int, size: int,
+             resolve: bool) -> int:
+        if not resolve:
+            return 0
+        target = _parse_number(token, self.symbols)
+        offset = target - (current_address + size)
+        if not -128 <= offset <= 127:
+            raise AssemblerError(f"relative jump to {token!r} out of range ({offset})")
+        return offset & 0xFF
+
+    # -- encoding ------------------------------------------------------------------
+
+    def _encode(self, mnemonic: str, ops: List[str], resolve_labels: bool,
+                current_address: int) -> bytes:
+        resolve = resolve_labels
+        up = [op.upper() for op in ops]
+
+        def reg_index(token: str) -> Optional[int]:
+            match = _REGISTER.match(token)
+            return int(match.group(1)) if match else None
+
+        if mnemonic == "NOP":
+            return bytes([0x00])
+        if mnemonic == "RET":
+            return bytes([0x22])
+        if mnemonic == "RETI":
+            return bytes([0x32])
+        if mnemonic == "CLR":
+            if up[0] == "A":
+                return bytes([0xE4])
+            if up[0] == "C":
+                return bytes([0xC3])
+            return bytes([0xC2, self._value(ops[0], resolve)])
+        if mnemonic == "SETB":
+            if up[0] == "C":
+                return bytes([0xD3])
+            return bytes([0xD2, self._value(ops[0], resolve)])
+        if mnemonic == "CPL":
+            if up[0] == "A":
+                return bytes([0xF4])
+            if up[0] == "C":
+                return bytes([0xB3])
+            return bytes([0xB2, self._value(ops[0], resolve)])
+        if mnemonic == "SWAP":
+            return bytes([0xC4])
+        if mnemonic == "RL":
+            return bytes([0x23])
+        if mnemonic == "RR":
+            return bytes([0x03])
+        if mnemonic == "RLC":
+            return bytes([0x33])
+        if mnemonic == "RRC":
+            return bytes([0x13])
+        if mnemonic == "INC":
+            if up[0] == "A":
+                return bytes([0x04])
+            if up[0] == "DPTR":
+                return bytes([0xA3])
+            index = reg_index(up[0])
+            if index is not None:
+                return bytes([0x08 + index])
+            return bytes([0x05, self._value(ops[0], resolve)])
+        if mnemonic == "DEC":
+            if up[0] == "A":
+                return bytes([0x14])
+            index = reg_index(up[0])
+            if index is not None:
+                return bytes([0x18 + index])
+            return bytes([0x15, self._value(ops[0], resolve)])
+        if mnemonic == "PUSH":
+            return bytes([0xC0, self._value(ops[0], resolve)])
+        if mnemonic == "POP":
+            return bytes([0xD0, self._value(ops[0], resolve)])
+        if mnemonic == "MUL":
+            return bytes([0xA4])
+        if mnemonic == "DIV":
+            return bytes([0x84])
+
+        if mnemonic in ("LJMP", "LCALL"):
+            opcode = 0x02 if mnemonic == "LJMP" else 0x12
+            target = self._value(ops[0], resolve, bits=16)
+            return bytes([opcode, (target >> 8) & 0xFF, target & 0xFF])
+        if mnemonic == "SJMP":
+            return bytes([0x80, self._rel(ops[0], current_address, 2, resolve)])
+        if mnemonic == "JZ":
+            return bytes([0x60, self._rel(ops[0], current_address, 2, resolve)])
+        if mnemonic == "JNZ":
+            return bytes([0x70, self._rel(ops[0], current_address, 2, resolve)])
+        if mnemonic == "JC":
+            return bytes([0x40, self._rel(ops[0], current_address, 2, resolve)])
+        if mnemonic == "JNC":
+            return bytes([0x50, self._rel(ops[0], current_address, 2, resolve)])
+        if mnemonic in ("JB", "JNB", "JBC"):
+            opcode = {"JB": 0x20, "JNB": 0x30, "JBC": 0x10}[mnemonic]
+            return bytes([opcode, self._value(ops[0], resolve),
+                          self._rel(ops[1], current_address, 3, resolve)])
+        if mnemonic == "DJNZ":
+            index = reg_index(up[0])
+            if index is not None:
+                return bytes([0xD8 + index,
+                              self._rel(ops[1], current_address, 2, resolve)])
+            return bytes([0xD5, self._value(ops[0], resolve),
+                          self._rel(ops[1], current_address, 3, resolve)])
+        if mnemonic == "CJNE":
+            if up[0] == "A" and ops[1].startswith("#"):
+                return bytes([0xB4, self._value(ops[1], resolve),
+                              self._rel(ops[2], current_address, 3, resolve)])
+            if up[0] == "A":
+                return bytes([0xB5, self._value(ops[1], resolve),
+                              self._rel(ops[2], current_address, 3, resolve)])
+            index = reg_index(up[0])
+            if index is not None and ops[1].startswith("#"):
+                return bytes([0xB8 + index, self._value(ops[1], resolve),
+                              self._rel(ops[2], current_address, 3, resolve)])
+            raise AssemblerError(f"unsupported CJNE form: {ops}")
+
+        if mnemonic == "MOV":
+            dst, src = up[0], up[1]
+            dst_reg, src_reg = reg_index(dst), reg_index(src)
+            if dst == "A" and src.startswith("#"):
+                return bytes([0x74, self._value(ops[1], resolve)])
+            if dst == "A" and src_reg is not None:
+                return bytes([0xE8 + src_reg])
+            if dst == "A" and src in ("@R0", "@R1"):
+                return bytes([0xE6 + int(src[-1])])
+            if dst == "A":
+                return bytes([0xE5, self._value(ops[1], resolve)])
+            if dst == "DPTR":
+                value = self._value(ops[1], resolve, bits=16)
+                return bytes([0x90, (value >> 8) & 0xFF, value & 0xFF])
+            if dst_reg is not None and src.startswith("#"):
+                return bytes([0x78 + dst_reg, self._value(ops[1], resolve)])
+            if dst_reg is not None and src == "A":
+                return bytes([0xF8 + dst_reg])
+            if dst_reg is not None:
+                return bytes([0xA8 + dst_reg, self._value(ops[1], resolve)])
+            if dst in ("@R0", "@R1") and src == "A":
+                return bytes([0xF6 + int(dst[-1])])
+            if dst in ("@R0", "@R1") and src.startswith("#"):
+                return bytes([0x76 + int(dst[-1]), self._value(ops[1], resolve)])
+            if src == "A":
+                return bytes([0xF5, self._value(ops[0], resolve)])
+            if src_reg is not None:
+                return bytes([0x88 + src_reg, self._value(ops[0], resolve)])
+            if src.startswith("#"):
+                return bytes([0x75, self._value(ops[0], resolve),
+                              self._value(ops[1], resolve)])
+            # MOV direct, direct  (encoding order: src, dst)
+            return bytes([0x85, self._value(ops[1], resolve),
+                          self._value(ops[0], resolve)])
+
+        if mnemonic == "MOVX":
+            if up[0] == "A" and up[1] == "@DPTR":
+                return bytes([0xE0])
+            if up[0] == "@DPTR" and up[1] == "A":
+                return bytes([0xF0])
+            raise AssemblerError(f"unsupported MOVX form: {ops}")
+        if mnemonic == "MOVC":
+            if up[1].replace(" ", "") == "@A+DPTR":
+                return bytes([0x93])
+            return bytes([0x83])
+
+        simple_alu = {"ADD": (0x24, 0x25, 0x28), "ADDC": (0x34, None, 0x38),
+                      "SUBB": (0x94, 0x95, 0x98), "ANL": (0x54, 0x55, 0x58),
+                      "ORL": (0x44, 0x45, 0x48), "XRL": (0x64, 0x65, 0x68)}
+        if mnemonic in simple_alu and up[0] == "A":
+            imm_op, direct_op, reg_base = simple_alu[mnemonic]
+            src = ops[1]
+            index = reg_index(up[1])
+            if src.startswith("#"):
+                return bytes([imm_op, self._value(src, resolve)])
+            if index is not None:
+                return bytes([reg_base + index])
+            if direct_op is None:
+                raise AssemblerError(f"unsupported {mnemonic} addressing: {ops}")
+            return bytes([direct_op, self._value(src, resolve)])
+        if mnemonic == "XCH" and up[0] == "A":
+            index = reg_index(up[1])
+            if index is not None:
+                return bytes([0xC8 + index])
+            return bytes([0xC5, self._value(ops[1], resolve)])
+
+        raise AssemblerError(f"unsupported mnemonic {mnemonic!r} with operands {ops}")
+
+
+def assemble(source: str) -> bytes:
+    """Convenience wrapper: assemble ``source`` and return the binary image."""
+    return Assembler().assemble(source)

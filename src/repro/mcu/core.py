@@ -1,0 +1,638 @@
+"""MCS-51 (8051) instruction-set simulator.
+
+The programmable section of the platform is built around the Oregano
+MC8051 IP core; its job in the gyro chip is monitoring, control and
+communication — firmware that polls DSP status registers over MOVX,
+talks to the UART/SPI peripherals through SFRs and services the
+watchdog.  This ISS executes the instruction subset that kind of
+firmware uses (data movement, arithmetic/logic, bit operations,
+branches, calls, MOVX/MOVC), with SFR accesses delegated to an
+:class:`SfrBus` so peripherals can hook their registers.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+from ..common.exceptions import BusError, IllegalOpcodeError
+from .memory import CodeMemory, ExternalBus, InternalRam
+
+# SFR addresses used by the core itself
+SFR_ACC = 0xE0
+SFR_B = 0xF0
+SFR_PSW = 0xD0
+SFR_SP = 0x81
+SFR_DPL = 0x82
+SFR_DPH = 0x83
+SFR_P0 = 0x80
+SFR_P1 = 0x90
+SFR_P2 = 0xA0
+SFR_P3 = 0xB0
+
+PSW_CY = 0x80
+PSW_AC = 0x40
+PSW_OV = 0x04
+
+
+class SfrBus:
+    """Special-function-register bus (the 8-bit SFR bus of Fig. 4)."""
+
+    def __init__(self):
+        self._read_handlers: Dict[int, Callable[[], int]] = {}
+        self._write_handlers: Dict[int, Callable[[int], None]] = {}
+        self._storage: Dict[int, int] = {}
+
+    def attach(self, address: int, read: Optional[Callable[[], int]] = None,
+               write: Optional[Callable[[int], None]] = None) -> None:
+        """Attach peripheral callbacks to an SFR address."""
+        if not 0x80 <= address <= 0xFF:
+            raise BusError(f"SFR address out of range: 0x{address:02X}")
+        if read is not None:
+            self._read_handlers[address] = read
+        if write is not None:
+            self._write_handlers[address] = write
+
+    def read(self, address: int) -> int:
+        if address in self._read_handlers:
+            return self._read_handlers[address]() & 0xFF
+        return self._storage.get(address, 0)
+
+    def write(self, address: int, value: int) -> None:
+        value &= 0xFF
+        self._storage[address] = value
+        if address in self._write_handlers:
+            self._write_handlers[address](value)
+
+    def reset(self) -> None:
+        """Clear plain-storage SFRs (peripheral-owned ones reset themselves)."""
+        self._storage.clear()
+
+
+class Mcs51Core:
+    """Functional MCS-51 CPU model."""
+
+    def __init__(self, code: Optional[CodeMemory] = None,
+                 xdata: Optional[ExternalBus] = None):
+        self.code = code or CodeMemory()
+        self.iram = InternalRam()
+        self.xdata = xdata or ExternalBus()
+        self.sfr = SfrBus()
+        self.pc = 0
+        self.cycles = 0
+        self.halted = False
+        self.sfr.write(SFR_SP, 0x07)
+
+    # -- register helpers -------------------------------------------------------
+
+    @property
+    def acc(self) -> int:
+        return self.sfr.read(SFR_ACC)
+
+    @acc.setter
+    def acc(self, value: int) -> None:
+        self.sfr.write(SFR_ACC, value & 0xFF)
+
+    @property
+    def psw(self) -> int:
+        return self.sfr.read(SFR_PSW)
+
+    @psw.setter
+    def psw(self, value: int) -> None:
+        self.sfr.write(SFR_PSW, value & 0xFF)
+
+    @property
+    def carry(self) -> int:
+        return 1 if self.psw & PSW_CY else 0
+
+    @carry.setter
+    def carry(self, value: int) -> None:
+        self.psw = (self.psw | PSW_CY) if value else (self.psw & ~PSW_CY)
+
+    @property
+    def dptr(self) -> int:
+        return (self.sfr.read(SFR_DPH) << 8) | self.sfr.read(SFR_DPL)
+
+    @dptr.setter
+    def dptr(self, value: int) -> None:
+        self.sfr.write(SFR_DPH, (value >> 8) & 0xFF)
+        self.sfr.write(SFR_DPL, value & 0xFF)
+
+    @property
+    def sp(self) -> int:
+        return self.sfr.read(SFR_SP)
+
+    @sp.setter
+    def sp(self, value: int) -> None:
+        self.sfr.write(SFR_SP, value & 0xFF)
+
+    def _register_bank_base(self) -> int:
+        return (self.psw >> 3) & 0x03 and ((self.psw >> 3) & 0x03) * 8 or \
+            ((self.psw >> 3) & 0x03) * 8
+
+    def reg(self, index: int) -> int:
+        """Read working register R0..R7 of the active bank."""
+        return self.iram.read(((self.psw >> 3) & 0x03) * 8 + index)
+
+    def set_reg(self, index: int, value: int) -> None:
+        """Write working register R0..R7 of the active bank."""
+        self.iram.write(((self.psw >> 3) & 0x03) * 8 + index, value & 0xFF)
+
+    # -- direct / bit address spaces ----------------------------------------------
+
+    def read_direct(self, address: int) -> int:
+        """Direct-address read: IRAM below 0x80, SFR at/above 0x80."""
+        if address < 0x80:
+            return self.iram.read(address)
+        return self.sfr.read(address)
+
+    def write_direct(self, address: int, value: int) -> None:
+        """Direct-address write."""
+        if address < 0x80:
+            self.iram.write(address, value)
+        else:
+            self.sfr.write(address, value)
+
+    def _bit_location(self, bit_address: int):
+        if bit_address < 0x80:
+            byte_address = 0x20 + (bit_address >> 3)
+            direct = False
+        else:
+            byte_address = bit_address & 0xF8
+            direct = True
+        mask = 1 << (bit_address & 0x07)
+        return byte_address, mask, direct
+
+    def read_bit(self, bit_address: int) -> int:
+        byte_address, mask, direct = self._bit_location(bit_address)
+        value = self.sfr.read(byte_address) if direct else self.iram.read(byte_address)
+        return 1 if value & mask else 0
+
+    def write_bit(self, bit_address: int, value: int) -> None:
+        byte_address, mask, direct = self._bit_location(bit_address)
+        current = self.sfr.read(byte_address) if direct else self.iram.read(byte_address)
+        current = (current | mask) if value else (current & ~mask & 0xFF)
+        if direct:
+            self.sfr.write(byte_address, current)
+        else:
+            self.iram.write(byte_address, current)
+
+    # -- stack ----------------------------------------------------------------------
+
+    def push(self, value: int) -> None:
+        self.sp = (self.sp + 1) & 0xFF
+        self.iram.write(self.sp, value & 0xFF)
+
+    def pop(self) -> int:
+        value = self.iram.read(self.sp)
+        self.sp = (self.sp - 1) & 0xFF
+        return value
+
+    # -- execution --------------------------------------------------------------------
+
+    def reset(self) -> None:
+        """Hardware reset: PC to 0, SP to 0x07, IRAM cleared."""
+        self.pc = 0
+        self.cycles = 0
+        self.halted = False
+        self.iram.clear()
+        self.sfr.reset()
+        self.sfr.write(SFR_SP, 0x07)
+
+    def load_program(self, image: bytes, origin: int = 0) -> None:
+        """Load a program image and reset the PC to its origin."""
+        self.code.load(image, origin)
+        self.pc = origin
+
+    def _fetch(self) -> int:
+        value = self.code.read(self.pc)
+        self.pc = (self.pc + 1) & 0xFFFF
+        return value
+
+    def _rel_jump(self, offset: int) -> None:
+        if offset >= 0x80:
+            offset -= 0x100
+        self.pc = (self.pc + offset) & 0xFFFF
+
+    def _add(self, value: int, with_carry: bool) -> None:
+        a = self.acc
+        carry_in = self.carry if with_carry else 0
+        total = a + value + carry_in
+        result = total & 0xFF
+        self.carry = 1 if total > 0xFF else 0
+        half = (a & 0x0F) + (value & 0x0F) + carry_in
+        psw = self.psw
+        psw = (psw | PSW_AC) if half > 0x0F else (psw & ~PSW_AC)
+        signed_overflow = ((a ^ result) & (value ^ result) & 0x80) != 0
+        psw = (psw | PSW_OV) if signed_overflow else (psw & ~PSW_OV)
+        self.psw = psw
+        self.carry = 1 if total > 0xFF else 0
+        self.acc = result
+
+    def _subb(self, value: int) -> None:
+        a = self.acc
+        borrow = self.carry
+        total = a - value - borrow
+        result = total & 0xFF
+        self.carry = 1 if total < 0 else 0
+        psw = self.psw
+        psw = (psw | PSW_AC) if ((a & 0x0F) - (value & 0x0F) - borrow) < 0 else (psw & ~PSW_AC)
+        signed_overflow = ((a ^ value) & (a ^ result) & 0x80) != 0
+        psw = (psw | PSW_OV) if signed_overflow else (psw & ~PSW_OV)
+        self.psw = psw
+        self.acc = result
+
+    def step(self) -> int:
+        """Execute one instruction; returns the number of machine cycles."""
+        if self.halted:
+            return 0
+        opcode = self._fetch()
+        cycles = self._execute(opcode)
+        self.cycles += cycles
+        return cycles
+
+    def run(self, max_instructions: int = 100_000,
+            until_pc: Optional[int] = None) -> int:
+        """Run until HALT (SJMP to itself), ``until_pc`` or the instruction cap.
+
+        Returns the number of instructions executed.
+        """
+        executed = 0
+        while executed < max_instructions and not self.halted:
+            if until_pc is not None and self.pc == until_pc:
+                break
+            before = self.pc
+            self.step()
+            executed += 1
+            # an SJMP that targets itself is treated as intentional halt
+            if self.pc == before and self.code.read(before) == 0x80 \
+                    and self.code.read((before + 1) & 0xFFFF) == 0xFE:
+                self.halted = True
+        return executed
+
+    # -- opcode dispatch ---------------------------------------------------------------
+
+    def _execute(self, opcode: int) -> int:
+        # NOP
+        if opcode == 0x00:
+            return 1
+        # AJMP / ACALL (page 0..7): aaa0 0001 / aaa1 0001
+        if opcode & 0x1F == 0x01 or opcode & 0x1F == 0x11:
+            low = self._fetch()
+            page = (opcode >> 5) & 0x07
+            target = (self.pc & 0xF800) | (page << 8) | low
+            if opcode & 0x10:  # ACALL
+                self.push(self.pc & 0xFF)
+                self.push((self.pc >> 8) & 0xFF)
+            self.pc = target
+            return 2
+        # LJMP addr16
+        if opcode == 0x02:
+            high, low = self._fetch(), self._fetch()
+            self.pc = (high << 8) | low
+            return 2
+        # LCALL addr16
+        if opcode == 0x12:
+            high, low = self._fetch(), self._fetch()
+            self.push(self.pc & 0xFF)
+            self.push((self.pc >> 8) & 0xFF)
+            self.pc = (high << 8) | low
+            return 2
+        # RET / RETI
+        if opcode in (0x22, 0x32):
+            high = self.pop()
+            low = self.pop()
+            self.pc = (high << 8) | low
+            return 2
+        # SJMP rel
+        if opcode == 0x80:
+            self._rel_jump(self._fetch())
+            return 2
+        # JMP @A+DPTR
+        if opcode == 0x73:
+            self.pc = (self.dptr + self.acc) & 0xFFFF
+            return 2
+
+        # conditional jumps
+        if opcode == 0x60:  # JZ
+            rel = self._fetch()
+            if self.acc == 0:
+                self._rel_jump(rel)
+            return 2
+        if opcode == 0x70:  # JNZ
+            rel = self._fetch()
+            if self.acc != 0:
+                self._rel_jump(rel)
+            return 2
+        if opcode == 0x40:  # JC
+            rel = self._fetch()
+            if self.carry:
+                self._rel_jump(rel)
+            return 2
+        if opcode == 0x50:  # JNC
+            rel = self._fetch()
+            if not self.carry:
+                self._rel_jump(rel)
+            return 2
+        if opcode == 0x20:  # JB bit, rel
+            bit, rel = self._fetch(), self._fetch()
+            if self.read_bit(bit):
+                self._rel_jump(rel)
+            return 2
+        if opcode == 0x30:  # JNB bit, rel
+            bit, rel = self._fetch(), self._fetch()
+            if not self.read_bit(bit):
+                self._rel_jump(rel)
+            return 2
+        if opcode == 0x10:  # JBC bit, rel
+            bit, rel = self._fetch(), self._fetch()
+            if self.read_bit(bit):
+                self.write_bit(bit, 0)
+                self._rel_jump(rel)
+            return 2
+
+        # DJNZ
+        if opcode == 0xD5:  # DJNZ direct, rel
+            direct, rel = self._fetch(), self._fetch()
+            value = (self.read_direct(direct) - 1) & 0xFF
+            self.write_direct(direct, value)
+            if value:
+                self._rel_jump(rel)
+            return 2
+        if 0xD8 <= opcode <= 0xDF:  # DJNZ Rn, rel
+            rel = self._fetch()
+            index = opcode - 0xD8
+            value = (self.reg(index) - 1) & 0xFF
+            self.set_reg(index, value)
+            if value:
+                self._rel_jump(rel)
+            return 2
+
+        # CJNE
+        if opcode == 0xB4:  # CJNE A, #imm, rel
+            imm, rel = self._fetch(), self._fetch()
+            self.carry = 1 if self.acc < imm else 0
+            if self.acc != imm:
+                self._rel_jump(rel)
+            return 2
+        if opcode == 0xB5:  # CJNE A, direct, rel
+            direct, rel = self._fetch(), self._fetch()
+            value = self.read_direct(direct)
+            self.carry = 1 if self.acc < value else 0
+            if self.acc != value:
+                self._rel_jump(rel)
+            return 2
+        if 0xB8 <= opcode <= 0xBF:  # CJNE Rn, #imm, rel
+            imm, rel = self._fetch(), self._fetch()
+            value = self.reg(opcode - 0xB8)
+            self.carry = 1 if value < imm else 0
+            if value != imm:
+                self._rel_jump(rel)
+            return 2
+
+        # MOV immediate / direct / register
+        if opcode == 0x74:  # MOV A, #imm
+            self.acc = self._fetch()
+            return 1
+        if opcode == 0x75:  # MOV direct, #imm
+            direct, imm = self._fetch(), self._fetch()
+            self.write_direct(direct, imm)
+            return 2
+        if 0x78 <= opcode <= 0x7F:  # MOV Rn, #imm
+            self.set_reg(opcode - 0x78, self._fetch())
+            return 1
+        if opcode == 0xE5:  # MOV A, direct
+            self.acc = self.read_direct(self._fetch())
+            return 1
+        if opcode == 0xF5:  # MOV direct, A
+            self.write_direct(self._fetch(), self.acc)
+            return 1
+        if 0xE8 <= opcode <= 0xEF:  # MOV A, Rn
+            self.acc = self.reg(opcode - 0xE8)
+            return 1
+        if 0xF8 <= opcode <= 0xFF:  # MOV Rn, A
+            self.set_reg(opcode - 0xF8, self.acc)
+            return 1
+        if 0xA8 <= opcode <= 0xAF:  # MOV Rn, direct
+            self.set_reg(opcode - 0xA8, self.read_direct(self._fetch()))
+            return 2
+        if 0x88 <= opcode <= 0x8F:  # MOV direct, Rn
+            self.write_direct(self._fetch(), self.reg(opcode - 0x88))
+            return 2
+        if opcode == 0x85:  # MOV direct, direct (src, dst order in encoding)
+            src, dst = self._fetch(), self._fetch()
+            self.write_direct(dst, self.read_direct(src))
+            return 2
+        if opcode in (0xE6, 0xE7):  # MOV A, @Ri
+            self.acc = self.iram.read(self.reg(opcode - 0xE6))
+            return 1
+        if opcode in (0xF6, 0xF7):  # MOV @Ri, A
+            self.iram.write(self.reg(opcode - 0xF6), self.acc)
+            return 1
+        if opcode in (0x76, 0x77):  # MOV @Ri, #imm
+            self.iram.write(self.reg(opcode - 0x76), self._fetch())
+            return 1
+        if opcode == 0x90:  # MOV DPTR, #imm16
+            high, low = self._fetch(), self._fetch()
+            self.dptr = (high << 8) | low
+            return 2
+
+        # MOVX / MOVC
+        if opcode == 0xE0:  # MOVX A, @DPTR
+            self.acc = self.xdata.read(self.dptr)
+            return 2
+        if opcode == 0xF0:  # MOVX @DPTR, A
+            self.xdata.write(self.dptr, self.acc)
+            return 2
+        if opcode in (0xE2, 0xE3):  # MOVX A, @Ri
+            self.acc = self.xdata.read(self.reg(opcode - 0xE2))
+            return 2
+        if opcode in (0xF2, 0xF3):  # MOVX @Ri, A
+            self.xdata.write(self.reg(opcode - 0xF2), self.acc)
+            return 2
+        if opcode == 0x93:  # MOVC A, @A+DPTR
+            self.acc = self.code.read((self.dptr + self.acc) & 0xFFFF)
+            return 2
+        if opcode == 0x83:  # MOVC A, @A+PC
+            self.acc = self.code.read((self.pc + self.acc) & 0xFFFF)
+            return 2
+
+        # arithmetic
+        if opcode == 0x24:  # ADD A, #imm
+            self._add(self._fetch(), False)
+            return 1
+        if opcode == 0x25:  # ADD A, direct
+            self._add(self.read_direct(self._fetch()), False)
+            return 1
+        if 0x28 <= opcode <= 0x2F:  # ADD A, Rn
+            self._add(self.reg(opcode - 0x28), False)
+            return 1
+        if opcode == 0x34:  # ADDC A, #imm
+            self._add(self._fetch(), True)
+            return 1
+        if 0x38 <= opcode <= 0x3F:  # ADDC A, Rn
+            self._add(self.reg(opcode - 0x38), True)
+            return 1
+        if opcode == 0x94:  # SUBB A, #imm
+            self._subb(self._fetch())
+            return 1
+        if opcode == 0x95:  # SUBB A, direct
+            self._subb(self.read_direct(self._fetch()))
+            return 1
+        if 0x98 <= opcode <= 0x9F:  # SUBB A, Rn
+            self._subb(self.reg(opcode - 0x98))
+            return 1
+        if opcode == 0x04:  # INC A
+            self.acc = (self.acc + 1) & 0xFF
+            return 1
+        if opcode == 0x05:  # INC direct
+            direct = self._fetch()
+            self.write_direct(direct, (self.read_direct(direct) + 1) & 0xFF)
+            return 1
+        if 0x08 <= opcode <= 0x0F:  # INC Rn
+            index = opcode - 0x08
+            self.set_reg(index, (self.reg(index) + 1) & 0xFF)
+            return 1
+        if opcode == 0xA3:  # INC DPTR
+            self.dptr = (self.dptr + 1) & 0xFFFF
+            return 2
+        if opcode == 0x14:  # DEC A
+            self.acc = (self.acc - 1) & 0xFF
+            return 1
+        if opcode == 0x15:  # DEC direct
+            direct = self._fetch()
+            self.write_direct(direct, (self.read_direct(direct) - 1) & 0xFF)
+            return 1
+        if 0x18 <= opcode <= 0x1F:  # DEC Rn
+            index = opcode - 0x18
+            self.set_reg(index, (self.reg(index) - 1) & 0xFF)
+            return 1
+        if opcode == 0xA4:  # MUL AB
+            product = self.acc * self.sfr.read(SFR_B)
+            self.acc = product & 0xFF
+            self.sfr.write(SFR_B, (product >> 8) & 0xFF)
+            self.carry = 0
+            psw = self.psw
+            self.psw = (psw | PSW_OV) if product > 0xFF else (psw & ~PSW_OV)
+            return 4
+        if opcode == 0x84:  # DIV AB
+            divisor = self.sfr.read(SFR_B)
+            psw = self.psw & ~PSW_CY
+            if divisor == 0:
+                self.psw = psw | PSW_OV
+            else:
+                quotient, remainder = divmod(self.acc, divisor)
+                self.acc = quotient
+                self.sfr.write(SFR_B, remainder)
+                self.psw = psw & ~PSW_OV
+            return 4
+
+        # logic
+        if opcode == 0x54:  # ANL A, #imm
+            self.acc &= self._fetch()
+            return 1
+        if opcode == 0x55:  # ANL A, direct
+            self.acc &= self.read_direct(self._fetch())
+            return 1
+        if 0x58 <= opcode <= 0x5F:  # ANL A, Rn
+            self.acc &= self.reg(opcode - 0x58)
+            return 1
+        if opcode == 0x44:  # ORL A, #imm
+            self.acc |= self._fetch()
+            return 1
+        if opcode == 0x45:  # ORL A, direct
+            self.acc |= self.read_direct(self._fetch())
+            return 1
+        if 0x48 <= opcode <= 0x4F:  # ORL A, Rn
+            self.acc |= self.reg(opcode - 0x48)
+            return 1
+        if opcode == 0x64:  # XRL A, #imm
+            self.acc ^= self._fetch()
+            return 1
+        if opcode == 0x65:  # XRL A, direct
+            self.acc ^= self.read_direct(self._fetch())
+            return 1
+        if 0x68 <= opcode <= 0x6F:  # XRL A, Rn
+            self.acc ^= self.reg(opcode - 0x68)
+            return 1
+        if opcode == 0x42:  # ORL direct, A
+            direct = self._fetch()
+            self.write_direct(direct, self.read_direct(direct) | self.acc)
+            return 1
+        if opcode == 0x52:  # ANL direct, A
+            direct = self._fetch()
+            self.write_direct(direct, self.read_direct(direct) & self.acc)
+            return 1
+
+        # accumulator / bit operations
+        if opcode == 0xE4:  # CLR A
+            self.acc = 0
+            return 1
+        if opcode == 0xF4:  # CPL A
+            self.acc = (~self.acc) & 0xFF
+            return 1
+        if opcode == 0x23:  # RL A
+            a = self.acc
+            self.acc = ((a << 1) | (a >> 7)) & 0xFF
+            return 1
+        if opcode == 0x03:  # RR A
+            a = self.acc
+            self.acc = ((a >> 1) | ((a & 1) << 7)) & 0xFF
+            return 1
+        if opcode == 0x33:  # RLC A
+            a = self.acc
+            new_carry = (a >> 7) & 1
+            self.acc = ((a << 1) | self.carry) & 0xFF
+            self.carry = new_carry
+            return 1
+        if opcode == 0x13:  # RRC A
+            a = self.acc
+            new_carry = a & 1
+            self.acc = ((a >> 1) | (self.carry << 7)) & 0xFF
+            self.carry = new_carry
+            return 1
+        if opcode == 0xC4:  # SWAP A
+            a = self.acc
+            self.acc = ((a << 4) | (a >> 4)) & 0xFF
+            return 1
+        if opcode == 0xC3:  # CLR C
+            self.carry = 0
+            return 1
+        if opcode == 0xD3:  # SETB C
+            self.carry = 1
+            return 1
+        if opcode == 0xB3:  # CPL C
+            self.carry = 0 if self.carry else 1
+            return 1
+        if opcode == 0xC2:  # CLR bit
+            self.write_bit(self._fetch(), 0)
+            return 1
+        if opcode == 0xD2:  # SETB bit
+            self.write_bit(self._fetch(), 1)
+            return 1
+        if opcode == 0xB2:  # CPL bit
+            bit = self._fetch()
+            self.write_bit(bit, 0 if self.read_bit(bit) else 1)
+            return 1
+
+        # exchange / stack
+        if opcode == 0xC5:  # XCH A, direct
+            direct = self._fetch()
+            value = self.read_direct(direct)
+            self.write_direct(direct, self.acc)
+            self.acc = value
+            return 1
+        if 0xC8 <= opcode <= 0xCF:  # XCH A, Rn
+            index = opcode - 0xC8
+            value = self.reg(index)
+            self.set_reg(index, self.acc)
+            self.acc = value
+            return 1
+        if opcode == 0xC0:  # PUSH direct
+            self.push(self.read_direct(self._fetch()))
+            return 2
+        if opcode == 0xD0:  # POP direct
+            self.write_direct(self._fetch(), self.pop())
+            return 2
+
+        raise IllegalOpcodeError(
+            f"unsupported opcode 0x{opcode:02X} at PC=0x{(self.pc - 1) & 0xFFFF:04X}")

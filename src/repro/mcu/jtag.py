@@ -1,0 +1,218 @@
+"""JTAG TAP controller and the analog trim access chain.
+
+The paper selects JTAG as the interface between the digital section and
+the analog front end because it is standard, asynchronous, uses only
+four wires and gives "full read-back capability".  The model implements
+the 16-state IEEE 1149.1 TAP state machine plus a data-register chain
+that reads and writes any register of an attached
+:class:`~repro.common.registers.RegisterFile` (the analog trim bank).
+
+The chain format is ``address (8 bits, LSB first) + data (16 bits, LSB
+first) + write flag (1 bit)``.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+from typing import List, Optional
+
+from ..common.exceptions import JtagError
+from ..common.registers import RegisterFile
+
+
+class TapState(Enum):
+    """IEEE 1149.1 TAP controller states."""
+
+    TEST_LOGIC_RESET = "test-logic-reset"
+    RUN_TEST_IDLE = "run-test-idle"
+    SELECT_DR = "select-dr"
+    CAPTURE_DR = "capture-dr"
+    SHIFT_DR = "shift-dr"
+    EXIT1_DR = "exit1-dr"
+    PAUSE_DR = "pause-dr"
+    EXIT2_DR = "exit2-dr"
+    UPDATE_DR = "update-dr"
+    SELECT_IR = "select-ir"
+    CAPTURE_IR = "capture-ir"
+    SHIFT_IR = "shift-ir"
+    EXIT1_IR = "exit1-ir"
+    PAUSE_IR = "pause-ir"
+    EXIT2_IR = "exit2-ir"
+    UPDATE_IR = "update-ir"
+
+
+#: TAP state transition table: state -> (next if TMS=0, next if TMS=1)
+_TRANSITIONS = {
+    TapState.TEST_LOGIC_RESET: (TapState.RUN_TEST_IDLE, TapState.TEST_LOGIC_RESET),
+    TapState.RUN_TEST_IDLE: (TapState.RUN_TEST_IDLE, TapState.SELECT_DR),
+    TapState.SELECT_DR: (TapState.CAPTURE_DR, TapState.SELECT_IR),
+    TapState.CAPTURE_DR: (TapState.SHIFT_DR, TapState.EXIT1_DR),
+    TapState.SHIFT_DR: (TapState.SHIFT_DR, TapState.EXIT1_DR),
+    TapState.EXIT1_DR: (TapState.PAUSE_DR, TapState.UPDATE_DR),
+    TapState.PAUSE_DR: (TapState.PAUSE_DR, TapState.EXIT2_DR),
+    TapState.EXIT2_DR: (TapState.SHIFT_DR, TapState.UPDATE_DR),
+    TapState.UPDATE_DR: (TapState.RUN_TEST_IDLE, TapState.SELECT_DR),
+    TapState.SELECT_IR: (TapState.CAPTURE_IR, TapState.TEST_LOGIC_RESET),
+    TapState.CAPTURE_IR: (TapState.SHIFT_IR, TapState.EXIT1_IR),
+    TapState.SHIFT_IR: (TapState.SHIFT_IR, TapState.EXIT1_IR),
+    TapState.EXIT1_IR: (TapState.PAUSE_IR, TapState.UPDATE_IR),
+    TapState.PAUSE_IR: (TapState.PAUSE_IR, TapState.EXIT2_IR),
+    TapState.EXIT2_IR: (TapState.SHIFT_IR, TapState.UPDATE_IR),
+    TapState.UPDATE_IR: (TapState.RUN_TEST_IDLE, TapState.SELECT_DR),
+}
+
+#: Instruction register opcodes.
+INSTRUCTION_IDCODE = 0x1
+INSTRUCTION_TRIM_ACCESS = 0x2
+INSTRUCTION_BYPASS = 0xF
+
+#: Device identification code returned by the IDCODE instruction.
+IDCODE_VALUE = 0x1A05D001
+
+
+class JtagTap:
+    """JTAG TAP with an analog-trim access data register."""
+
+    IR_LENGTH = 4
+    TRIM_DR_LENGTH = 8 + 16 + 1
+
+    def __init__(self, trim_registers: Optional[RegisterFile] = None):
+        self.trim_registers = trim_registers
+        self.state = TapState.TEST_LOGIC_RESET
+        self._ir_shift = 0
+        self.instruction = INSTRUCTION_IDCODE
+        self._dr_shift = 0
+        self._dr_length = 32
+        self._tdo = 0
+
+    # -- pin-level interface ------------------------------------------------------
+
+    def clock(self, tms: int, tdi: int = 0) -> int:
+        """Apply one TCK rising edge with the given TMS/TDI values.
+
+        Returns the TDO value shifted out on this clock.
+        """
+        tdo = 0
+        if self.state is TapState.SHIFT_IR:
+            tdo = self._ir_shift & 1
+            self._ir_shift = (self._ir_shift >> 1) | ((tdi & 1) << (self.IR_LENGTH - 1))
+        elif self.state is TapState.SHIFT_DR:
+            tdo = self._dr_shift & 1
+            self._dr_shift = (self._dr_shift >> 1) | ((tdi & 1) << (self._dr_length - 1))
+
+        previous = self.state
+        self.state = _TRANSITIONS[self.state][1 if tms else 0]
+
+        if previous is TapState.CAPTURE_IR:
+            pass
+        if self.state is TapState.CAPTURE_IR:
+            self._ir_shift = 0b0101  # capture pattern per IEEE 1149.1
+        elif self.state is TapState.UPDATE_IR:
+            self.instruction = self._ir_shift & ((1 << self.IR_LENGTH) - 1)
+        elif self.state is TapState.CAPTURE_DR:
+            self._capture_dr()
+        elif self.state is TapState.UPDATE_DR:
+            self._update_dr()
+        elif self.state is TapState.TEST_LOGIC_RESET:
+            self.instruction = INSTRUCTION_IDCODE
+        self._tdo = tdo
+        return tdo
+
+    def _capture_dr(self) -> None:
+        if self.instruction == INSTRUCTION_IDCODE:
+            self._dr_length = 32
+            self._dr_shift = IDCODE_VALUE
+        elif self.instruction == INSTRUCTION_TRIM_ACCESS:
+            self._dr_length = self.TRIM_DR_LENGTH
+            # capture keeps the previously loaded address so a read returns
+            # the addressed register's current value in the data field
+            address = self._dr_shift & 0xFF
+            data = self._read_trim(address)
+            self._dr_shift = (self._dr_shift & 0x1) << (self.TRIM_DR_LENGTH - 1) \
+                | (data << 8) | address
+        else:  # BYPASS and unknown instructions: single-bit register
+            self._dr_length = 1
+            self._dr_shift = 0
+
+    def _update_dr(self) -> None:
+        if self.instruction != INSTRUCTION_TRIM_ACCESS:
+            return
+        address = self._dr_shift & 0xFF
+        data = (self._dr_shift >> 8) & 0xFFFF
+        write_flag = (self._dr_shift >> 24) & 0x1
+        if write_flag:
+            self._write_trim(address, data)
+
+    def _read_trim(self, address: int) -> int:
+        if self.trim_registers is None:
+            return 0
+        try:
+            return self.trim_registers.bus_read(address)
+        except Exception:
+            return 0
+
+    def _write_trim(self, address: int, value: int) -> None:
+        if self.trim_registers is None:
+            raise JtagError("no trim register file attached to the TAP")
+        self.trim_registers.bus_write(address, value)
+
+    # -- host-level convenience operations ---------------------------------------------
+
+    def reset(self) -> None:
+        """Drive five TMS=1 clocks: guaranteed Test-Logic-Reset."""
+        for _ in range(5):
+            self.clock(tms=1)
+
+    def _goto_shift_ir(self) -> None:
+        for tms in (0, 1, 1, 0, 0):
+            self.clock(tms=tms)
+        if self.state is not TapState.SHIFT_IR:
+            raise JtagError(f"TAP navigation error, state={self.state}")
+
+    def _goto_shift_dr(self) -> None:
+        for tms in (0, 1, 0, 0):
+            self.clock(tms=tms)
+        if self.state is not TapState.SHIFT_DR:
+            raise JtagError(f"TAP navigation error, state={self.state}")
+
+    def load_instruction(self, instruction: int) -> None:
+        """Shift a new instruction into the IR."""
+        self.reset()
+        self._goto_shift_ir()
+        for i in range(self.IR_LENGTH):
+            last = i == self.IR_LENGTH - 1
+            self.clock(tms=1 if last else 0, tdi=(instruction >> i) & 1)
+        self.clock(tms=1)  # update-IR
+        self.clock(tms=0)  # run-test/idle
+
+    def shift_data(self, value: int, length: int) -> int:
+        """Shift ``length`` bits through the selected DR and return the output."""
+        self._goto_shift_dr()
+        out = 0
+        for i in range(length):
+            last = i == length - 1
+            tdo = self.clock(tms=1 if last else 0, tdi=(value >> i) & 1)
+            out |= tdo << i
+        self.clock(tms=1)  # update-DR
+        self.clock(tms=0)  # run-test/idle
+        return out
+
+    def read_idcode(self) -> int:
+        """Read the 32-bit device identification code."""
+        self.load_instruction(INSTRUCTION_IDCODE)
+        return self.shift_data(0, 32)
+
+    def write_trim_register(self, address: int, value: int) -> None:
+        """Write a 16-bit trim register over the chain."""
+        self.load_instruction(INSTRUCTION_TRIM_ACCESS)
+        word = (1 << 24) | ((value & 0xFFFF) << 8) | (address & 0xFF)
+        self.shift_data(word, self.TRIM_DR_LENGTH)
+
+    def read_trim_register(self, address: int) -> int:
+        """Read a 16-bit trim register over the chain (full read-back)."""
+        self.load_instruction(INSTRUCTION_TRIM_ACCESS)
+        # first pass loads the address (no write); the capture of the second
+        # pass then returns the addressed register's value
+        self.shift_data(address & 0xFF, self.TRIM_DR_LENGTH)
+        result = self.shift_data(address & 0xFF, self.TRIM_DR_LENGTH)
+        return (result >> 8) & 0xFFFF

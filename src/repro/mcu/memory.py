@@ -1,0 +1,122 @@
+"""Memory subsystem of the 8051-based programmable section.
+
+The paper's CPU core (Fig. 4) is surrounded by configurable ROM/RAM and
+a cache controller: an 'ASIC' version boots from a 16 KB ROM, a
+'prototype' version keeps the program in RAM (downloaded over the UART)
+with only a 1 KB boot ROM.  The memory models here provide code memory,
+internal RAM, and an external-data (XDATA) bus with pluggable handlers —
+the hook the bridge uses to map the DSP registers, the trim bank and the
+SRAM data logger into the 8051's MOVX address space.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..common.exceptions import BusError, ConfigurationError
+
+
+class CodeMemory:
+    """Program memory (ROM or downloaded RAM image)."""
+
+    def __init__(self, size: int = 16 * 1024, writable: bool = False):
+        if not 0 < size <= 64 * 1024:
+            raise ConfigurationError("code memory size must be in (0, 64K]")
+        self.size = size
+        self.writable = writable
+        self._data = bytearray(size)
+
+    def load(self, image: bytes, origin: int = 0) -> None:
+        """Load a program image at ``origin`` (always allowed — this is
+        the programming/download path, not a CPU write)."""
+        if origin < 0 or origin + len(image) > self.size:
+            raise BusError(
+                f"image of {len(image)} bytes at 0x{origin:04X} exceeds code memory")
+        self._data[origin:origin + len(image)] = image
+
+    def read(self, address: int) -> int:
+        """CPU instruction/MOVC read."""
+        if not 0 <= address < self.size:
+            raise BusError(f"code read outside memory: 0x{address:04X}")
+        return self._data[address]
+
+    def write(self, address: int, value: int) -> None:
+        """CPU-initiated write (only legal for RAM-backed program storage)."""
+        if not self.writable:
+            raise BusError("code memory is not writable")
+        if not 0 <= address < self.size:
+            raise BusError(f"code write outside memory: 0x{address:04X}")
+        self._data[address] = value & 0xFF
+
+
+class InternalRam:
+    """256-byte internal RAM (direct + indirect space, register banks, stack)."""
+
+    SIZE = 256
+
+    def __init__(self):
+        self._data = bytearray(self.SIZE)
+
+    def read(self, address: int) -> int:
+        if not 0 <= address < self.SIZE:
+            raise BusError(f"IRAM read out of range: 0x{address:02X}")
+        return self._data[address]
+
+    def write(self, address: int, value: int) -> None:
+        if not 0 <= address < self.SIZE:
+            raise BusError(f"IRAM write out of range: 0x{address:02X}")
+        self._data[address] = value & 0xFF
+
+    def clear(self) -> None:
+        """Zero the whole RAM (power-on state)."""
+        for i in range(self.SIZE):
+            self._data[i] = 0
+
+
+XdataHandler = Tuple[int, int, Callable[[int], int], Callable[[int, int], None]]
+
+
+class ExternalBus:
+    """MOVX (XDATA) address space with memory-mapped peripheral windows.
+
+    A default RAM backs unmapped addresses; handlers registered with
+    :meth:`map_region` intercept reads/writes in their window.  The
+    bridge maps the DSP registers, trim bank and SRAM controller here.
+    """
+
+    def __init__(self, ram_size: int = 4096):
+        if not 0 < ram_size <= 64 * 1024:
+            raise ConfigurationError("XDATA RAM size must be in (0, 64K]")
+        self._ram = bytearray(ram_size)
+        self._ram_size = ram_size
+        self._regions: List[XdataHandler] = []
+
+    def map_region(self, start: int, end: int,
+                   read: Callable[[int], int],
+                   write: Callable[[int, int], None]) -> None:
+        """Map ``[start, end)`` to a peripheral's read/write callbacks."""
+        if start >= end:
+            raise ConfigurationError("region start must be below end")
+        for existing_start, existing_end, _, _ in self._regions:
+            if start < existing_end and existing_start < end:
+                raise ConfigurationError(
+                    f"region 0x{start:04X}-0x{end:04X} overlaps an existing one")
+        self._regions.append((start, end, read, write))
+
+    def read(self, address: int) -> int:
+        for start, end, read, _ in self._regions:
+            if start <= address < end:
+                return read(address) & 0xFF
+        if 0 <= address < self._ram_size:
+            return self._ram[address]
+        raise BusError(f"XDATA read from unmapped address 0x{address:04X}")
+
+    def write(self, address: int, value: int) -> None:
+        for start, end, _, write in self._regions:
+            if start <= address < end:
+                write(address, value & 0xFF)
+                return
+        if 0 <= address < self._ram_size:
+            self._ram[address] = value & 0xFF
+            return
+        raise BusError(f"XDATA write to unmapped address 0x{address:04X}")

@@ -1,0 +1,233 @@
+"""Peripherals of the programmable section (Fig. 4).
+
+The 8051 core is surrounded by a UART and a cache controller on the
+8-bit SFR bus, and — through a bridge — by SPI, timer, watchdog and SRAM
+controller on a 16-bit bus.  Each peripheral here is a behavioural model
+exposing the registers the firmware uses; the bridge maps the 16-bit bus
+(including the DSP monitor registers and the analog trim bank) into the
+8051's MOVX address space.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..common.exceptions import BusError, ConfigurationError
+from ..common.registers import RegisterFile
+
+# SFR addresses (standard 8051 UART plus platform-specific extensions)
+SFR_SBUF = 0x99
+SFR_SCON = 0x98
+SFR_CACHE_CTRL = 0x8E
+
+
+class Uart:
+    """UART used for PC communication, software download and rate output.
+
+    The model is transaction-level: bytes written to SBUF are appended to
+    the TX log, and bytes queued by the test bench / host appear in SBUF
+    after a read of SCON shows the receive flag.
+    """
+
+    def __init__(self, baud_rate: int = 115_200):
+        if baud_rate <= 0:
+            raise ConfigurationError("baud rate must be > 0")
+        self.baud_rate = baud_rate
+        self.tx_log: List[int] = []
+        self._rx_queue: List[int] = []
+
+    def attach(self, sfr_bus) -> None:
+        """Attach the UART registers to the core's SFR bus."""
+        sfr_bus.attach(SFR_SBUF, read=self._read_sbuf, write=self._write_sbuf)
+        sfr_bus.attach(SFR_SCON, read=self._read_scon)
+
+    def _write_sbuf(self, value: int) -> None:
+        self.tx_log.append(value & 0xFF)
+
+    def _read_sbuf(self) -> int:
+        if self._rx_queue:
+            return self._rx_queue.pop(0)
+        return 0
+
+    def _read_scon(self) -> int:
+        # bit0 (RI) = receive data available, bit1 (TI) = transmit ready
+        return (0x01 if self._rx_queue else 0x00) | 0x02
+
+    def host_send(self, data: bytes) -> None:
+        """Queue bytes as if sent by the external PC."""
+        self._rx_queue.extend(data)
+
+    def transmitted_bytes(self) -> bytes:
+        """Everything the firmware has transmitted so far."""
+        return bytes(self.tx_log)
+
+    def transmitted_text(self) -> str:
+        """TX log decoded as ASCII (errors replaced)."""
+        return bytes(self.tx_log).decode("ascii", errors="replace")
+
+
+class SpiController:
+    """SPI master used for the EEPROM and external communication."""
+
+    def __init__(self):
+        self.mosi_log: List[int] = []
+        self._miso_queue: List[int] = []
+
+    def transfer(self, value: int) -> int:
+        """Full-duplex transfer of one byte."""
+        self.mosi_log.append(value & 0xFF)
+        if self._miso_queue:
+            return self._miso_queue.pop(0)
+        return 0xFF
+
+    def queue_miso(self, data: bytes) -> None:
+        """Queue slave-to-master response bytes."""
+        self._miso_queue.extend(data)
+
+
+class SpiEeprom:
+    """External SPI EEPROM used to store downloaded firmware images."""
+
+    READ = 0x03
+    WRITE = 0x02
+
+    def __init__(self, size: int = 8192):
+        if size <= 0:
+            raise ConfigurationError("EEPROM size must be > 0")
+        self.size = size
+        self._data = bytearray(size)
+
+    def write_block(self, address: int, data: bytes) -> None:
+        """Program a block (page-write model, no page-size restriction)."""
+        if address < 0 or address + len(data) > self.size:
+            raise BusError("EEPROM write out of range")
+        self._data[address:address + len(data)] = data
+
+    def read_block(self, address: int, length: int) -> bytes:
+        """Read a block."""
+        if address < 0 or address + length > self.size:
+            raise BusError("EEPROM read out of range")
+        return bytes(self._data[address:address + length])
+
+
+class Timer:
+    """Simple 16-bit system timer clocked by machine cycles."""
+
+    def __init__(self, reload: int = 0):
+        self.reload = reload & 0xFFFF
+        self.count = self.reload
+        self.overflows = 0
+        self.running = True
+
+    def tick(self, cycles: int = 1) -> None:
+        """Advance by a number of machine cycles."""
+        if not self.running:
+            return
+        self.count += cycles
+        while self.count > 0xFFFF:
+            self.count -= 0x10000 - self.reload
+            self.overflows += 1
+
+    def reset(self) -> None:
+        self.count = self.reload
+        self.overflows = 0
+
+
+class Watchdog:
+    """Watchdog timer: the monitoring firmware must service it periodically."""
+
+    def __init__(self, timeout_cycles: int = 200_000):
+        if timeout_cycles <= 0:
+            raise ConfigurationError("watchdog timeout must be > 0")
+        self.timeout_cycles = timeout_cycles
+        self._count = 0
+        self.expired = False
+
+    def tick(self, cycles: int = 1) -> None:
+        """Advance the watchdog; sets :attr:`expired` on timeout."""
+        self._count += cycles
+        if self._count >= self.timeout_cycles:
+            self.expired = True
+
+    def service(self) -> None:
+        """Kick the watchdog (firmware write)."""
+        self._count = 0
+
+    def reset(self) -> None:
+        self._count = 0
+        self.expired = False
+
+
+class SramController:
+    """Prototype-phase data logger: stores DSP samples into a 512 Kb SRAM."""
+
+    def __init__(self, size_bytes: int = 64 * 1024):
+        if size_bytes <= 0:
+            raise ConfigurationError("SRAM size must be > 0")
+        self.size_bytes = size_bytes
+        self._data = bytearray(size_bytes)
+        self._write_pointer = 0
+
+    def log_sample(self, value: int) -> None:
+        """Append one 16-bit sample at the current write pointer (wraps)."""
+        value &= 0xFFFF
+        self._data[self._write_pointer] = value & 0xFF
+        self._data[(self._write_pointer + 1) % self.size_bytes] = (value >> 8) & 0xFF
+        self._write_pointer = (self._write_pointer + 2) % self.size_bytes
+
+    def read_sample(self, index: int) -> int:
+        """Read back the ``index``-th logged 16-bit sample."""
+        address = (2 * index) % self.size_bytes
+        return self._data[address] | (self._data[(address + 1) % self.size_bytes] << 8)
+
+    @property
+    def samples_logged(self) -> int:
+        """Number of samples written since construction (modulo wrap)."""
+        return self._write_pointer // 2
+
+
+class BusBridge:
+    """SFR-bus to 16-bit-bus bridge (Fig. 4).
+
+    The bridge exposes the 16-bit peripherals and register files (DSP
+    monitor registers, analog trim bank, SPI, timer, watchdog, SRAM
+    controller) as a window in the 8051's external-data (MOVX) address
+    space.  16-bit registers appear as two consecutive byte addresses,
+    little-endian.
+    """
+
+    def __init__(self, base_address: int = 0x8000):
+        self.base_address = base_address
+        self._register_files: List[RegisterFile] = []
+
+    def attach_register_file(self, registers: RegisterFile) -> None:
+        """Expose a register file through the bridge."""
+        self._register_files.append(registers)
+
+    def connect(self, xdata_bus, window: int = 0x1000) -> None:
+        """Map the bridge window into the MOVX address space."""
+        xdata_bus.map_region(self.base_address, self.base_address + window,
+                             self._read_byte, self._write_byte)
+
+    def _locate(self, offset: int):
+        register_offset = offset & ~1
+        for regfile in self._register_files:
+            try:
+                return regfile.at_address(register_offset), offset & 1
+            except Exception:
+                continue
+        raise BusError(f"bridge: no register at offset 0x{offset:04X}")
+
+    def _read_byte(self, address: int) -> int:
+        register, byte_sel = self._locate(address - self.base_address)
+        value = register.read()
+        return (value >> (8 * byte_sel)) & 0xFF
+
+    def _write_byte(self, address: int, value: int) -> None:
+        register, byte_sel = self._locate(address - self.base_address)
+        current = register.read()
+        if byte_sel == 0:
+            new = (current & 0xFF00) | value
+        else:
+            new = (current & 0x00FF) | (value << 8)
+        register.write(new)

@@ -1,0 +1,175 @@
+"""The complete programmable section: CPU, buses, peripherals and firmware.
+
+:class:`McuSubsystem` assembles the Fig. 4 architecture: the MCS-51 core
+with its code/IRAM memories, the UART and cache control on the SFR bus,
+and the 16-bit bridge giving MOVX access to the DSP monitor registers,
+the analog trim bank, and the prototype SRAM logger.  The monitoring
+firmware shipped with the platform is provided as assembly source so the
+whole HW/SW path — firmware polls the DSP status register, reads the
+rate word and streams it over the UART — runs on the instruction-set
+simulator.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..common.exceptions import ConfigurationError
+from ..common.registers import RegisterFile
+from .assembler import assemble
+from .core import Mcs51Core
+from .jtag import JtagTap
+from .memory import CodeMemory, ExternalBus
+from .peripherals import (
+    BusBridge,
+    SpiController,
+    SpiEeprom,
+    SramController,
+    Timer,
+    Uart,
+    Watchdog,
+)
+
+#: MOVX base address of the bridge window.
+BRIDGE_BASE = 0x8000
+
+#: Frame header bytes used by the monitoring firmware's UART protocol.
+FRAME_HEADER_LOCKED = 0xA5
+FRAME_HEADER_UNLOCKED = 0x5A
+
+
+#: Monitoring/communication firmware (assembly source).
+#:
+#: The routine mirrors what the paper describes the CPU doing at run time:
+#: "a routine constantly checks the system status by accessing the several
+#: readable registers spread along the processing chain (for example makes
+#: sure that the PLL is locked)" while "other routines handle communication
+#: services, providing status and output data to the user".
+MONITOR_FIRMWARE_SOURCE = """
+; -------------------------------------------------------------------
+; Gyro platform monitoring firmware
+;   - poll the DSP status register over the bridge (MOVX)
+;   - if the PLL is locked, stream a rate frame over the UART:
+;       0xA5, rate_low, rate_high, drive_gain_low
+;   - otherwise send the "not locked" status byte 0x5A
+;   - R7 counts the number of polling iterations (for test visibility)
+; -------------------------------------------------------------------
+SBUF        EQU 0x99
+STATUS_LO   EQU 0x00        ; dsp_status    @ bridge 0x8100
+RATE_LO     EQU 0x02        ; dsp_rate_out  @ bridge 0x8102
+
+START:
+    MOV R7, #0              ; iteration counter
+LOOP:
+    INC R7
+    MOV DPTR, #0x8100       ; dsp_status, low byte
+    MOVX A, @DPTR
+    ANL A, #0x01            ; isolate pll_locked
+    JZ NOTLOCKED
+
+    MOV A, #0xA5            ; frame header
+    MOV SBUF, A
+    MOV DPTR, #0x8102       ; dsp_rate_out, low byte
+    MOVX A, @DPTR
+    MOV SBUF, A
+    MOV DPTR, #0x8103       ; dsp_rate_out, high byte
+    MOVX A, @DPTR
+    MOV SBUF, A
+    MOV DPTR, #0x810C       ; dsp_drive_gain, low byte
+    MOVX A, @DPTR
+    MOV SBUF, A
+    SJMP NEXT
+
+NOTLOCKED:
+    MOV A, #0x5A            ; "not locked" status byte
+    MOV SBUF, A
+
+NEXT:
+    CJNE R7, #4, LOOP       ; poll four times, then stop
+HALT:
+    SJMP HALT
+"""
+
+
+class McuSubsystem:
+    """8051 subsystem with buses, peripherals, JTAG and firmware support."""
+
+    def __init__(self, code_size: int = 16 * 1024,
+                 code_writable: bool = False):
+        self.xdata = ExternalBus()
+        self.core = Mcs51Core(code=CodeMemory(code_size, writable=code_writable),
+                              xdata=self.xdata)
+        self.uart = Uart()
+        self.uart.attach(self.core.sfr)
+        self.spi = SpiController()
+        self.eeprom = SpiEeprom()
+        self.timer = Timer()
+        self.watchdog = Watchdog()
+        self.sram_logger = SramController()
+        self.bridge = BusBridge(BRIDGE_BASE)
+        self.bridge.connect(self.xdata)
+        self.jtag = JtagTap()
+
+    # -- platform integration ---------------------------------------------------------
+
+    def connect_dsp_registers(self, registers: RegisterFile) -> None:
+        """Expose the DSP monitor registers through the bridge."""
+        self.bridge.attach_register_file(registers)
+
+    def connect_trim_bank(self, trim_registers: RegisterFile) -> None:
+        """Expose the analog trim bank through the bridge and the JTAG chain."""
+        self.bridge.attach_register_file(trim_registers)
+        self.jtag.trim_registers = trim_registers
+
+    # -- firmware ----------------------------------------------------------------------
+
+    def load_firmware_source(self, source: str, origin: int = 0) -> bytes:
+        """Assemble and load firmware; returns the binary image."""
+        image = assemble(source)
+        self.core.load_program(image, origin)
+        return image
+
+    def load_monitor_firmware(self) -> bytes:
+        """Load the built-in monitoring/communication firmware."""
+        return self.load_firmware_source(MONITOR_FIRMWARE_SOURCE)
+
+    def download_firmware_via_uart(self, image: bytes, origin: int = 0) -> None:
+        """Model the prototype boot path: program download over the UART.
+
+        Requires RAM-backed (writable) program storage, as in the paper's
+        'prototype' memory configuration.
+        """
+        if not self.core.code.writable:
+            raise ConfigurationError(
+                "program storage is ROM; use the 'prototype' configuration "
+                "(code_writable=True) for UART download")
+        self.uart.host_send(image)
+        self.core.code.load(image, origin)
+
+    def store_firmware_in_eeprom(self, image: bytes, address: int = 0) -> None:
+        """Store a firmware image in the external SPI EEPROM."""
+        self.eeprom.write_block(address, image)
+
+    def boot_from_eeprom(self, length: int, address: int = 0) -> None:
+        """Reboot using an image previously stored in the EEPROM."""
+        image = self.eeprom.read_block(address, length)
+        self.core.reset()
+        self.core.load_program(image, 0)
+
+    # -- execution ----------------------------------------------------------------------
+
+    def run(self, max_instructions: int = 100_000) -> int:
+        """Run the firmware; peripherals are ticked with the consumed cycles."""
+        executed = 0
+        while executed < max_instructions and not self.core.halted:
+            before = self.core.pc
+            cycles = self.core.step()
+            self.timer.tick(cycles)
+            self.watchdog.tick(cycles)
+            executed += 1
+            # an SJMP that targets itself is the firmware's halt idiom
+            if self.core.pc == before and before + 1 < self.core.code.size \
+                    and self.core.code.read(before) == 0x80 \
+                    and self.core.code.read(before + 1) == 0xFE:
+                self.core.halted = True
+        return executed

@@ -1,0 +1,30 @@
+"""Platform assembly: IP portfolio, generic platform and the gyro instance."""
+
+from .ip_portfolio import Domain, IpBlock, IpPortfolio, default_portfolio
+from .generic import (
+    BASE_BLOCKS,
+    SENSOR_CLASS_BLOCKS,
+    GenericSensorPlatform,
+    PlatformInstance,
+)
+from .result import GyroSimulationResult
+from .gyro_platform import (
+    GyroPlatform,
+    GyroPlatformConfig,
+    TemperatureSensorConfig,
+)
+
+__all__ = [
+    "Domain",
+    "IpBlock",
+    "IpPortfolio",
+    "default_portfolio",
+    "BASE_BLOCKS",
+    "SENSOR_CLASS_BLOCKS",
+    "GenericSensorPlatform",
+    "PlatformInstance",
+    "GyroSimulationResult",
+    "GyroPlatform",
+    "GyroPlatformConfig",
+    "TemperatureSensorConfig",
+]

@@ -1,0 +1,151 @@
+"""The generic sensor-interface platform of Fig. 2 and its customisation.
+
+The generic platform is the *superset* of resources (analog cells,
+hardwired DSP IPs, the 8051 subsystem and firmware services) from which
+a specific sensor interface is derived: "from such generic platform, the
+optimum interface for a specific sensor can be easily derived in a short
+time", and "only the required analog/digital components are integrated
+onto silicon".
+
+:class:`GenericSensorPlatform` models exactly that: it owns the IP
+portfolio and a set of named customisation recipes (gyro, capacitive
+pressure, resistive bridge, inductive position); :meth:`derive` selects
+the blocks a given sensor class needs and returns a
+:class:`PlatformInstance` carrying the selected blocks and their rolled-
+up implementation cost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..common.exceptions import ConfigurationError
+from .ip_portfolio import Domain, IpBlock, IpPortfolio, default_portfolio
+
+#: Blocks every customisation needs regardless of the sensor class.
+BASE_BLOCKS = (
+    "sar_adc_12b", "dac_12b", "pga", "antialias_filter", "bandgap_reference",
+    "bias_generator", "supply_regulator", "clock_oscillator", "temperature_sensor",
+    "iir_filter", "compensation_unit",
+    "cpu_8051", "memory_subsystem", "bus_bridge", "uart", "spi",
+    "timer_watchdog", "jtag_tap",
+    "monitor_firmware", "comm_firmware", "trim_firmware", "boot_loader",
+)
+
+#: Extra blocks per sensor class (the "customisation recipes").
+SENSOR_CLASS_BLOCKS: Dict[str, Sequence[str]] = {
+    "gyro": ("charge_amplifier", "nco", "mixer_demodulator", "pll_loop_filter",
+             "agc", "fir_filter", "cic_decimator", "force_rebalance",
+             "sram_controller"),
+    "capacitive": ("charge_amplifier", "cic_decimator", "fir_filter"),
+    "resistive": ("bridge_excitation", "fir_filter", "cic_decimator"),
+    "inductive": ("lvdt_driver", "nco", "mixer_demodulator", "fir_filter"),
+}
+
+
+@dataclass
+class PlatformInstance:
+    """A customised instance of the generic platform.
+
+    Attributes:
+        sensor_class: the sensor class it was derived for.
+        blocks: the selected IP blocks.
+        analog_area_mm2: rolled-up analog area.
+        digital_gates: rolled-up digital gate count.
+        power_mw: rolled-up power consumption.
+        code_bytes: rolled-up firmware footprint.
+    """
+
+    sensor_class: str
+    blocks: List[IpBlock] = field(default_factory=list)
+    analog_area_mm2: float = 0.0
+    digital_gates: int = 0
+    power_mw: float = 0.0
+    code_bytes: int = 0
+
+    def block_names(self) -> List[str]:
+        """Names of the selected blocks (sorted for stable reports)."""
+        return sorted(b.name for b in self.blocks)
+
+    def blocks_in_domain(self, domain: Domain) -> List[IpBlock]:
+        """Selected blocks belonging to one implementation domain."""
+        return [b for b in self.blocks if b.domain is domain]
+
+
+class GenericSensorPlatform:
+    """The generic automotive sensor-interface platform."""
+
+    def __init__(self, portfolio: Optional[IpPortfolio] = None):
+        self.portfolio = portfolio or default_portfolio()
+
+    @property
+    def supported_sensor_classes(self) -> List[str]:
+        """Sensor classes with a customisation recipe."""
+        return sorted(SENSOR_CLASS_BLOCKS)
+
+    def derive(self, sensor_class: str,
+               extra_blocks: Sequence[str] = ()) -> PlatformInstance:
+        """Derive a customised platform instance for a sensor class.
+
+        Args:
+            sensor_class: one of :attr:`supported_sensor_classes`.
+            extra_blocks: additional portfolio blocks to force-include
+                (e.g. ``"sram_controller"`` for a prototyping build).
+
+        Returns:
+            A :class:`PlatformInstance` with the selected blocks and
+            rolled-up cost.
+        """
+        if sensor_class not in SENSOR_CLASS_BLOCKS:
+            raise ConfigurationError(
+                f"unknown sensor class {sensor_class!r}; supported: "
+                f"{self.supported_sensor_classes}")
+        names = list(dict.fromkeys(list(BASE_BLOCKS)
+                                   + list(SENSOR_CLASS_BLOCKS[sensor_class])
+                                   + list(extra_blocks)))
+        blocks = [self.portfolio.get(name) for name in names]
+        instance = PlatformInstance(
+            sensor_class=sensor_class,
+            blocks=blocks,
+            analog_area_mm2=sum(b.area_mm2 for b in blocks),
+            digital_gates=sum(b.gates for b in blocks),
+            power_mw=sum(b.power_mw for b in blocks),
+            code_bytes=sum(b.code_bytes for b in blocks),
+        )
+        return instance
+
+    def unused_blocks(self, instance: PlatformInstance) -> List[IpBlock]:
+        """Portfolio blocks *not* integrated in the given instance.
+
+        This is the crux of the platform argument: a Universal Sensor
+        Interface would carry all of these on silicon; the platform-based
+        derivation leaves them out.
+        """
+        selected = set(instance.block_names())
+        return [b for b in self.portfolio if b.name not in selected]
+
+    def architecture_report(self, instance: PlatformInstance) -> str:
+        """Human-readable architecture summary (Fig. 2 / Fig. 4 style)."""
+        lines = [f"Platform instance for sensor class '{instance.sensor_class}'",
+                 "=" * 60]
+        for domain, title in ((Domain.ANALOG, "Analog front-end"),
+                              (Domain.DIGITAL_HW, "Hardwired digital"),
+                              (Domain.SOFTWARE, "Software (8051 firmware)")):
+            lines.append(f"{title}:")
+            for block in instance.blocks_in_domain(domain):
+                cost = []
+                if block.area_mm2:
+                    cost.append(f"{block.area_mm2:.2f} mm2")
+                if block.gates:
+                    cost.append(f"{block.gates} gates")
+                if block.code_bytes:
+                    cost.append(f"{block.code_bytes} bytes")
+                cost_text = ", ".join(cost) if cost else "-"
+                lines.append(f"  - {block.name:<22s} {cost_text:<24s} {block.description}")
+        lines.append("-" * 60)
+        lines.append(f"Analog area : {instance.analog_area_mm2:8.2f} mm2")
+        lines.append(f"Digital size: {instance.digital_gates:8d} gates")
+        lines.append(f"Power       : {instance.power_mw:8.1f} mW")
+        lines.append(f"Firmware    : {instance.code_bytes:8d} bytes")
+        return "\n".join(lines)

@@ -1,0 +1,341 @@
+"""The customised gyro conditioning platform (case study of Section 4).
+
+:class:`GyroPlatform` is the mixed-signal co-simulation of the complete
+system: the MEMS vibrating-ring sensor, the analog front-end and the
+digital conditioning chain, closed in a loop sample by sample exactly as
+the silicon closes it through electrodes and pick-offs.  It also owns
+the calibration procedure (scale factor, offset, temperature
+compensation) that a production part undergoes on the rate table.
+
+This is the object the evaluation harness and the benchmarks drive.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..afe.frontend import FrontEndConfig, GyroAnalogFrontEnd
+from ..common.exceptions import ConfigurationError, SimulationError
+from ..common.units import ROOM_TEMPERATURE_C
+from ..gyro.calibration import fit_scale_factor, fit_temperature_compensation
+from ..gyro.conditioning import GyroConditioner, GyroConditionerConfig
+from ..sensors.environment import Environment
+from ..sensors.gyro import GyroParameters, VibratingRingGyro
+from .result import GyroSimulationResult
+
+
+@dataclass
+class TemperatureSensorConfig:
+    """On-chip temperature sensor used by the digital compensation.
+
+    Attributes:
+        offset_error_c: static measurement offset.
+        resolution_c: quantisation step of the digital temperature word.
+    """
+
+    offset_error_c: float = 0.3
+    resolution_c: float = 0.25
+
+    def __post_init__(self) -> None:
+        if self.resolution_c <= 0:
+            raise ConfigurationError("temperature resolution must be > 0")
+
+
+@dataclass
+class GyroPlatformConfig:
+    """Configuration of the complete case-study platform.
+
+    Attributes:
+        sample_rate_hz: co-simulation / acquisition sample rate.
+        sensor: MEMS gyro parameters.
+        frontend: analog front-end configuration.
+        conditioner: digital conditioning chain configuration.
+        temperature_sensor: on-chip temperature sensor model.
+        record_decimation: trace recording decimation factor.
+    """
+
+    sample_rate_hz: float = 120_000.0
+    sensor: GyroParameters = field(default_factory=GyroParameters)
+    frontend: FrontEndConfig = field(default_factory=FrontEndConfig)
+    conditioner: GyroConditionerConfig = field(default_factory=GyroConditionerConfig)
+    temperature_sensor: TemperatureSensorConfig = field(
+        default_factory=TemperatureSensorConfig)
+    record_decimation: int = 16
+
+    def __post_init__(self) -> None:
+        if self.sample_rate_hz <= 0:
+            raise ConfigurationError("sample rate must be > 0")
+        if self.record_decimation < 1:
+            raise ConfigurationError("record decimation must be >= 1")
+        # keep every section on the same time base
+        self.frontend.sample_rate_hz = self.sample_rate_hz
+        self.conditioner.drive.pll.sample_rate_hz = self.sample_rate_hz
+        self.conditioner.sense.sample_rate_hz = self.sample_rate_hz
+        self.conditioner.rebalance.sample_rate_hz = self.sample_rate_hz
+        self.conditioner.startup.sample_rate_hz = self.sample_rate_hz
+
+
+def _concatenate_results(results: Sequence[GyroSimulationResult]
+                         ) -> GyroSimulationResult:
+    """Concatenate consecutive simulation segments into one result."""
+    if not results:
+        raise SimulationError("no simulation segments to concatenate")
+    if len(results) == 1:
+        return results[0]
+    last = results[-1]
+
+    def cat(name: str) -> np.ndarray:
+        return np.concatenate([getattr(r, name) for r in results])
+
+    waveforms = all(r.primary_pickoff_norm is not None for r in results)
+    return GyroSimulationResult(
+        time_s=cat("time_s"),
+        sample_rate_hz=last.sample_rate_hz,
+        true_rate_dps=cat("true_rate_dps"),
+        temperature_c=cat("temperature_c"),
+        rate_output_dps=cat("rate_output_dps"),
+        rate_output_v=cat("rate_output_v"),
+        amplitude_control=cat("amplitude_control"),
+        amplitude_error=cat("amplitude_error"),
+        phase_error=cat("phase_error"),
+        vco_control=cat("vco_control"),
+        pll_locked=cat("pll_locked"),
+        running=cat("running"),
+        primary_pickoff_norm=cat("primary_pickoff_norm") if waveforms else None,
+        drive_word=cat("drive_word") if waveforms else None,
+        turn_on_time_s=last.turn_on_time_s,
+    )
+
+
+class GyroPlatform:
+    """Mixed-signal co-simulation of the gyro conditioning platform."""
+
+    def __init__(self, config: Optional[GyroPlatformConfig] = None):
+        self.config = config or GyroPlatformConfig()
+        cfg = self.config
+        self.sensor = VibratingRingGyro(cfg.sensor, cfg.sample_rate_hz)
+        self.frontend = GyroAnalogFrontEnd(cfg.frontend)
+        self.conditioner = GyroConditioner(cfg.conditioner)
+        self._drive_v = 0.0
+        self._control_v = 0.0
+        self._time_s = 0.0
+        self.calibrated = False
+
+    # -- basic controls ---------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        """Current simulation time in seconds."""
+        return self._time_s
+
+    def reset(self) -> None:
+        """Power-cycle the whole platform (sensor at rest, chain at reset)."""
+        self.sensor.reset()
+        self.frontend.reset()
+        self.conditioner.reset()
+        self._drive_v = 0.0
+        self._control_v = 0.0
+        self._time_s = 0.0
+
+    # -- co-simulation -----------------------------------------------------------
+
+    def run(self, environment: Environment, duration_s: float,
+            reset: bool = False, record_waveforms: bool = False
+            ) -> GyroSimulationResult:
+        """Run the co-simulation for ``duration_s`` seconds.
+
+        Args:
+            environment: applied rate and temperature profiles (time is
+                relative to the platform's current simulation time).
+            duration_s: how long to simulate.
+            reset: power-cycle the platform before running.
+            record_waveforms: additionally record the primary pick-off and
+                drive-word waveforms (memory-hungry; used by the figure
+                benches).
+
+        Returns:
+            A :class:`GyroSimulationResult` with the recorded traces.
+        """
+        if duration_s <= 0:
+            raise SimulationError("duration must be > 0")
+        if reset:
+            self.reset()
+        cfg = self.config
+        fs = cfg.sample_rate_hz
+        dt = 1.0 / fs
+        n = int(round(duration_s * fs))
+        dec = cfg.record_decimation
+        n_rec = n // dec + 1
+
+        time_tr = np.zeros(n_rec)
+        rate_tr = np.zeros(n_rec)
+        temp_tr = np.zeros(n_rec)
+        out_dps_tr = np.zeros(n_rec)
+        out_v_tr = np.zeros(n_rec)
+        agc_tr = np.zeros(n_rec)
+        agc_err_tr = np.zeros(n_rec)
+        perr_tr = np.zeros(n_rec)
+        vco_tr = np.zeros(n_rec)
+        lock_tr = np.zeros(n_rec, dtype=bool)
+        run_tr = np.zeros(n_rec, dtype=bool)
+        pick_tr = np.zeros(n_rec) if record_waveforms else None
+        drive_tr = np.zeros(n_rec) if record_waveforms else None
+
+        sensor = self.sensor
+        frontend = self.frontend
+        conditioner = self.conditioner
+        tsensor = cfg.temperature_sensor
+        rate_profile = environment.rate_dps
+        temp_profile = environment.temperature_c
+        start_time = self._time_s
+
+        rec = 0
+        drive_v = self._drive_v
+        control_v = self._control_v
+        for i in range(n):
+            t = i * dt
+            rate_dps = rate_profile.value(t)
+            temp_c = temp_profile.value(t)
+
+            primary_v, secondary_v = sensor.step(drive_v, control_v,
+                                                 rate_dps, temp_c)
+            p_norm, s_norm = frontend.acquire(primary_v, secondary_v, temp_c)
+            measured_temp = (round((temp_c + tsensor.offset_error_c)
+                                   / tsensor.resolution_c) * tsensor.resolution_c)
+            drive_word, control_word, rate_word = conditioner.step(
+                p_norm, s_norm, measured_temp)
+            drive_v, control_v = frontend.drive(drive_word, control_word, temp_c)
+
+            if i % dec == 0:
+                out_v = frontend.rate_output(rate_word, temp_c)
+                time_tr[rec] = start_time + t
+                rate_tr[rec] = rate_dps
+                temp_tr[rec] = temp_c
+                out_dps_tr[rec] = conditioner.rate_dps
+                out_v_tr[rec] = out_v
+                agc_tr[rec] = conditioner.drive_loop.amplitude_control
+                agc_err_tr[rec] = conditioner.drive_loop.amplitude_error
+                perr_tr[rec] = conditioner.drive_loop.phase_error
+                vco_tr[rec] = conditioner.drive_loop.vco_control
+                lock_tr[rec] = conditioner.drive_loop.locked
+                run_tr[rec] = conditioner.running
+                if record_waveforms:
+                    pick_tr[rec] = p_norm
+                    drive_tr[rec] = drive_word
+                rec += 1
+
+        self._drive_v = drive_v
+        self._control_v = control_v
+        self._time_s = start_time + n * dt
+
+        return GyroSimulationResult(
+            time_s=time_tr[:rec],
+            sample_rate_hz=fs / dec,
+            true_rate_dps=rate_tr[:rec],
+            temperature_c=temp_tr[:rec],
+            rate_output_dps=out_dps_tr[:rec],
+            rate_output_v=out_v_tr[:rec],
+            amplitude_control=agc_tr[:rec],
+            amplitude_error=agc_err_tr[:rec],
+            phase_error=perr_tr[:rec],
+            vco_control=vco_tr[:rec],
+            pll_locked=lock_tr[:rec],
+            running=run_tr[:rec],
+            primary_pickoff_norm=pick_tr[:rec] if record_waveforms else None,
+            drive_word=drive_tr[:rec] if record_waveforms else None,
+            turn_on_time_s=conditioner.startup.turn_on_time_s,
+        )
+
+    # -- start-up and calibration -------------------------------------------------
+
+    def start(self, temperature_c: float = ROOM_TEMPERATURE_C,
+              max_duration_s: float = 1.5,
+              chunk_s: float = 0.1) -> GyroSimulationResult:
+        """Power-cycle and run until start-up completes (or the limit expires).
+
+        The simulation proceeds in ``chunk_s`` slices and stops as soon
+        as the start-up sequencer reports RUNNING, so a healthy part does
+        not pay for the full watchdog window.
+        """
+        env = Environment.still(temperature_c)
+        results = [self.run(env, chunk_s, reset=True)]
+        while not self.conditioner.running and self._time_s < max_duration_s:
+            results.append(self.run(env, chunk_s))
+        if not self.conditioner.running:
+            raise SimulationError(
+                "conditioning chain failed to complete start-up within "
+                f"{max_duration_s} s")
+        return _concatenate_results(results)
+
+    def measure_settled_output(self, rate_dps: float, temperature_c: float,
+                               duration_s: float = 0.2) -> Tuple[float, float, float]:
+        """Apply a constant rate and return settled chain outputs.
+
+        Returns:
+            ``(rate_channel, rate_output_dps, rate_output_v)`` averaged
+            over the second half of the window.
+        """
+        result = self.run(Environment.constant_rate(rate_dps, temperature_c),
+                          duration_s)
+        tail = result.settled_slice(0.4)
+        # raw (uncompensated) channel value is not recorded in the traces;
+        # read it from the chain state (it is heavily low-pass filtered, so
+        # the instantaneous value is representative of the settled mean)
+        raw_channel = self.conditioner.sense_chain.rate_channel
+        return (raw_channel,
+                float(np.mean(result.rate_output_dps[tail])),
+                float(np.mean(result.rate_output_v[tail])))
+
+    def calibrate(self, rates_dps: Sequence[float] = (-200.0, 0.0, 200.0),
+                  temperature_c: float = ROOM_TEMPERATURE_C,
+                  settle_s: float = 0.25) -> None:
+        """Factory calibration of scale factor and zero-rate offset.
+
+        Runs start-up, applies each calibration rate on the simulated rate
+        table, fits the response and programs the sense-chain scaler and
+        offset compensation.
+        """
+        self.start(temperature_c)
+        channels = []
+        for rate in rates_dps:
+            raw, _, _ = self.measure_settled_output(rate, temperature_c, settle_s)
+            channels.append(raw)
+        calibration = fit_scale_factor(rates_dps, channels)
+        self.conditioner.sense_chain.calibrate_scale(calibration.channel_per_dps)
+        self.conditioner.sense_chain.calibrate_offset(calibration.channel_offset)
+        self.calibrated = True
+
+    def calibrate_temperature(self,
+                              temperatures_c: Sequence[float] = (-40.0, 25.0, 85.0),
+                              probe_rate_dps: float = 100.0,
+                              settle_s: float = 0.25) -> None:
+        """Fit and install temperature-compensation polynomials.
+
+        At each temperature the platform is restarted, the zero-rate
+        channel output and the sensitivity are measured, and first-order
+        compensation polynomials are fitted.
+        """
+        if not self.calibrated:
+            raise SimulationError("run calibrate() before calibrate_temperature()")
+        static_offset = self.conditioner.sense_chain.offset_comp.offset
+        offsets = []
+        ratios = []
+        reference_slope = None
+        for temp in temperatures_c:
+            self.start(temp)
+            zero_raw, _, _ = self.measure_settled_output(0.0, temp, settle_s)
+            pos_raw, _, _ = self.measure_settled_output(probe_rate_dps, temp, settle_s)
+            slope = (pos_raw - zero_raw) / probe_rate_dps
+            # residual offset after the static compensation, in the raw
+            # channel units the temperature compensation operates on
+            offsets.append(zero_raw - static_offset)
+            if temp == ROOM_TEMPERATURE_C or reference_slope is None:
+                reference_slope = slope
+            ratios.append(slope)
+        reference_slope = reference_slope or ratios[0]
+        ratios = [r / reference_slope for r in ratios]
+        config = fit_temperature_compensation(temperatures_c, offsets, ratios)
+        self.conditioner.sense_chain.calibrate_temperature(config)

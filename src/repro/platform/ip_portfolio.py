@@ -1,0 +1,197 @@
+"""IP portfolio: the catalogue of analog and digital cells of the platform.
+
+"The front-end can be customized for different classes of sensors ... by
+choosing the most suitable analog cells from a well-stocked IP
+portfolio."  The portfolio also carries the implementation metadata
+(area, gate count, power) the design flow needs to estimate the FPGA
+prototype utilisation and the ASIC area, and which the partitioning
+engine uses as its cost model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, Iterable, List, Optional
+
+from ..common.exceptions import ConfigurationError
+
+
+class Domain(Enum):
+    """Implementation domain of an IP block."""
+
+    ANALOG = "analog"
+    DIGITAL_HW = "digital_hw"
+    SOFTWARE = "software"
+
+
+@dataclass(frozen=True)
+class IpBlock:
+    """One reusable block of the platform portfolio.
+
+    Attributes:
+        name: unique block name.
+        domain: implementation domain.
+        description: one-line description.
+        area_mm2: silicon area in a 0.35 µm CMOS process (analog blocks).
+        gates: equivalent gate count (digital blocks).
+        power_mw: typical power consumption.
+        code_bytes: program memory footprint (software routines).
+        sensor_classes: sensor classes the block applies to (empty = all).
+    """
+
+    name: str
+    domain: Domain
+    description: str = ""
+    area_mm2: float = 0.0
+    gates: int = 0
+    power_mw: float = 0.0
+    code_bytes: int = 0
+    sensor_classes: tuple = ()
+
+    def __post_init__(self) -> None:
+        if self.area_mm2 < 0 or self.gates < 0 or self.power_mw < 0 or self.code_bytes < 0:
+            raise ConfigurationError(f"negative cost metadata for IP {self.name!r}")
+
+
+class IpPortfolio:
+    """Searchable catalogue of IP blocks."""
+
+    def __init__(self, blocks: Optional[Iterable[IpBlock]] = None):
+        self._blocks: Dict[str, IpBlock] = {}
+        for block in blocks or []:
+            self.add(block)
+
+    def add(self, block: IpBlock) -> IpBlock:
+        """Add a block; names must be unique."""
+        if block.name in self._blocks:
+            raise ConfigurationError(f"duplicate IP block {block.name!r}")
+        self._blocks[block.name] = block
+        return block
+
+    def get(self, name: str) -> IpBlock:
+        """Look up a block by name."""
+        try:
+            return self._blocks[name]
+        except KeyError:
+            raise ConfigurationError(f"no IP block named {name!r}") from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._blocks
+
+    def __len__(self) -> int:
+        return len(self._blocks)
+
+    def __iter__(self):
+        return iter(self._blocks.values())
+
+    def by_domain(self, domain: Domain) -> List[IpBlock]:
+        """All blocks implemented in the given domain."""
+        return [b for b in self._blocks.values() if b.domain is domain]
+
+    def for_sensor_class(self, sensor_class: str) -> List[IpBlock]:
+        """Blocks applicable to a sensor class (plus the universal ones)."""
+        return [b for b in self._blocks.values()
+                if not b.sensor_classes or sensor_class in b.sensor_classes]
+
+    def total_area_mm2(self, names: Iterable[str]) -> float:
+        """Summed analog area of the named blocks."""
+        return sum(self.get(n).area_mm2 for n in names)
+
+    def total_gates(self, names: Iterable[str]) -> int:
+        """Summed gate count of the named blocks."""
+        return sum(self.get(n).gates for n in names)
+
+    def total_power_mw(self, names: Iterable[str]) -> float:
+        """Summed power of the named blocks."""
+        return sum(self.get(n).power_mw for n in names)
+
+
+def default_portfolio() -> IpPortfolio:
+    """The platform's default IP portfolio.
+
+    Area/gate/power figures are representative of a 0.35 µm mixed-signal
+    process and are chosen so that the gyro customisation rolls up to the
+    published implementation figures (~200 kgates of digital logic,
+    ~12 mm² of analog front end).
+    """
+    analog = [
+        IpBlock("sar_adc_12b", Domain.ANALOG, "12-bit SAR ADC, 250 kS/s",
+                area_mm2=1.1, power_mw=3.5),
+        IpBlock("dac_12b", Domain.ANALOG, "12-bit string DAC with output buffer",
+                area_mm2=0.8, power_mw=2.0),
+        IpBlock("charge_amplifier", Domain.ANALOG,
+                "Capacitive pick-off charge amplifier",
+                area_mm2=0.6, power_mw=1.2, sensor_classes=("capacitive", "gyro")),
+        IpBlock("pga", Domain.ANALOG, "Programmable-gain amplifier 1..64 V/V",
+                area_mm2=0.7, power_mw=1.5),
+        IpBlock("antialias_filter", Domain.ANALOG, "2-pole anti-alias filter",
+                area_mm2=0.35, power_mw=0.6),
+        IpBlock("bandgap_reference", Domain.ANALOG, "Bandgap voltage reference",
+                area_mm2=0.3, power_mw=0.4),
+        IpBlock("bias_generator", Domain.ANALOG, "Bias current generator",
+                area_mm2=0.25, power_mw=0.3),
+        IpBlock("supply_regulator", Domain.ANALOG, "5 V automotive supply regulator",
+                area_mm2=0.9, power_mw=4.0),
+        IpBlock("clock_oscillator", Domain.ANALOG, "20 MHz system oscillator",
+                area_mm2=0.4, power_mw=1.0),
+        IpBlock("temperature_sensor", Domain.ANALOG, "On-chip temperature sensor",
+                area_mm2=0.2, power_mw=0.2),
+        IpBlock("bridge_excitation", Domain.ANALOG, "Wheatstone bridge excitation",
+                area_mm2=0.45, power_mw=1.8, sensor_classes=("resistive",)),
+        IpBlock("lvdt_driver", Domain.ANALOG, "Inductive sensor carrier driver",
+                area_mm2=0.55, power_mw=2.2, sensor_classes=("inductive",)),
+    ]
+    digital = [
+        IpBlock("fir_filter", Domain.DIGITAL_HW, "Programmable FIR filter engine",
+                gates=18_000, power_mw=1.5),
+        IpBlock("iir_filter", Domain.DIGITAL_HW, "Biquad IIR filter bank",
+                gates=14_000, power_mw=1.2),
+        IpBlock("cic_decimator", Domain.DIGITAL_HW, "CIC decimator",
+                gates=6_000, power_mw=0.5),
+        IpBlock("nco", Domain.DIGITAL_HW, "Numerically controlled oscillator",
+                gates=8_000, power_mw=0.7),
+        IpBlock("mixer_demodulator", Domain.DIGITAL_HW, "I/Q mixer / demodulator pair",
+                gates=10_000, power_mw=0.8),
+        IpBlock("pll_loop_filter", Domain.DIGITAL_HW, "Drive PLL phase detector + PI",
+                gates=12_000, power_mw=1.0),
+        IpBlock("agc", Domain.DIGITAL_HW, "Drive AGC",
+                gates=7_000, power_mw=0.6),
+        IpBlock("compensation_unit", Domain.DIGITAL_HW,
+                "Offset/temperature compensation datapath",
+                gates=9_000, power_mw=0.7),
+        IpBlock("force_rebalance", Domain.DIGITAL_HW, "Force-rebalance controller",
+                gates=11_000, power_mw=0.9),
+        IpBlock("cpu_8051", Domain.DIGITAL_HW, "Oregano MC8051 core",
+                gates=35_000, power_mw=3.0),
+        IpBlock("memory_subsystem", Domain.DIGITAL_HW,
+                "ROM/RAM/cache controller and SFR bus",
+                gates=30_000, power_mw=2.0),
+        IpBlock("bus_bridge", Domain.DIGITAL_HW, "SFR-bus to 16-bit bridge",
+                gates=4_000, power_mw=0.3),
+        IpBlock("uart", Domain.DIGITAL_HW, "UART / RS485 controller",
+                gates=5_000, power_mw=0.3),
+        IpBlock("spi", Domain.DIGITAL_HW, "SPI master/slave controller",
+                gates=4_500, power_mw=0.3),
+        IpBlock("timer_watchdog", Domain.DIGITAL_HW, "Timer + watchdog",
+                gates=5_500, power_mw=0.3),
+        IpBlock("sram_controller", Domain.DIGITAL_HW, "External SRAM data logger",
+                gates=6_500, power_mw=0.5),
+        IpBlock("jtag_tap", Domain.DIGITAL_HW, "JTAG TAP + analog trim chain",
+                gates=4_000, power_mw=0.2),
+    ]
+    software = [
+        IpBlock("monitor_firmware", Domain.SOFTWARE,
+                "Status monitoring routines (PLL lock, overload, watchdog)",
+                code_bytes=2_048),
+        IpBlock("comm_firmware", Domain.SOFTWARE,
+                "UART/SPI communication services and output streaming",
+                code_bytes=3_072),
+        IpBlock("trim_firmware", Domain.SOFTWARE,
+                "Analog trim and calibration-coefficient management",
+                code_bytes=1_536),
+        IpBlock("boot_loader", Domain.SOFTWARE,
+                "Boot loader with UART/SPI/EEPROM software download",
+                code_bytes=1_024),
+    ]
+    return IpPortfolio(analog + digital + software)

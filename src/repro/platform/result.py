@@ -1,0 +1,101 @@
+"""Simulation result containers for the mixed-signal co-simulation."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..common.exceptions import ConfigurationError
+
+
+@dataclass
+class GyroSimulationResult:
+    """Recorded traces from a :class:`~repro.platform.gyro_platform.GyroPlatform` run.
+
+    All trace arrays share the same (decimated) time base ``time_s``.
+
+    Attributes:
+        time_s: time stamps of the recorded samples.
+        sample_rate_hz: rate of the recorded traces (after decimation).
+        true_rate_dps: applied (true) yaw rate.
+        temperature_c: applied die temperature.
+        rate_output_dps: digital rate estimate of the conditioning chain.
+        rate_output_v: analog ratiometric rate output (around ~2.5 V).
+        amplitude_control: AGC drive-gain trace (Fig. 5 / Fig. 6).
+        amplitude_error: AGC amplitude-error trace.
+        phase_error: PLL phase-error trace.
+        vco_control: PLL frequency-control trace [Hz offset].
+        pll_locked: PLL lock flag trace.
+        running: start-up-complete flag trace.
+        primary_pickoff_norm: normalised primary ADC samples (optional,
+            recorded only when waveform recording is enabled).
+        drive_word: drive-DAC word trace (optional).
+        turn_on_time_s: measured turn-on time, if start-up completed.
+    """
+
+    time_s: np.ndarray
+    sample_rate_hz: float
+    true_rate_dps: np.ndarray
+    temperature_c: np.ndarray
+    rate_output_dps: np.ndarray
+    rate_output_v: np.ndarray
+    amplitude_control: np.ndarray
+    amplitude_error: np.ndarray
+    phase_error: np.ndarray
+    vco_control: np.ndarray
+    pll_locked: np.ndarray
+    running: np.ndarray
+    primary_pickoff_norm: Optional[np.ndarray] = None
+    drive_word: Optional[np.ndarray] = None
+    turn_on_time_s: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        n = self.time_s.size
+        for name in ("true_rate_dps", "temperature_c", "rate_output_dps",
+                     "rate_output_v", "amplitude_control", "amplitude_error",
+                     "phase_error", "vco_control", "pll_locked", "running"):
+            arr = getattr(self, name)
+            if arr.size != n:
+                raise ConfigurationError(
+                    f"trace {name!r} has {arr.size} samples, expected {n}")
+
+    @property
+    def duration_s(self) -> float:
+        """Total recorded duration."""
+        if self.time_s.size == 0:
+            return 0.0
+        return float(self.time_s[-1] - self.time_s[0])
+
+    def settled_slice(self, fraction: float = 0.5) -> slice:
+        """Index slice selecting the last ``fraction`` of the record."""
+        if not 0.0 < fraction <= 1.0:
+            raise ConfigurationError("fraction must be in (0, 1]")
+        start = int(self.time_s.size * (1.0 - fraction))
+        return slice(start, self.time_s.size)
+
+    def mean_output_dps(self, fraction: float = 0.5) -> float:
+        """Mean digital rate output over the settled tail of the record."""
+        return float(np.mean(self.rate_output_dps[self.settled_slice(fraction)]))
+
+    def mean_output_v(self, fraction: float = 0.5) -> float:
+        """Mean analog rate output over the settled tail of the record."""
+        return float(np.mean(self.rate_output_v[self.settled_slice(fraction)]))
+
+    def lock_time_s(self) -> Optional[float]:
+        """Time at which the PLL first reported lock, or None."""
+        locked = np.nonzero(self.pll_locked)[0]
+        if locked.size == 0:
+            return None
+        return float(self.time_s[locked[0]])
+
+    def summary(self) -> Dict[str, float]:
+        """Key figures of the run (for logging and quick inspection)."""
+        return {
+            "duration_s": self.duration_s,
+            "final_rate_dps": float(self.rate_output_dps[-1]) if self.rate_output_dps.size else float("nan"),
+            "final_output_v": float(self.rate_output_v[-1]) if self.rate_output_v.size else float("nan"),
+            "locked": bool(self.pll_locked[-1]) if self.pll_locked.size else False,
+            "turn_on_time_s": self.turn_on_time_s if self.turn_on_time_s is not None else float("nan"),
+        }

@@ -1,0 +1,38 @@
+"""Sensor models: MEMS vibrating-ring gyro and generic sensing elements."""
+
+from .environment import (
+    ConstantProfile,
+    Environment,
+    PiecewiseProfile,
+    Profile,
+    RampProfile,
+    SineProfile,
+    StepProfile,
+)
+from .resonator import ResonatorMode
+from .gyro import GyroParameters, VibratingRingGyro
+from .elements import (
+    CapacitivePressureSensor,
+    GenericSensingElement,
+    InductivePositionSensor,
+    ResistiveBridgeSensor,
+    SensingElementSpec,
+)
+
+__all__ = [
+    "ConstantProfile",
+    "Environment",
+    "PiecewiseProfile",
+    "Profile",
+    "RampProfile",
+    "SineProfile",
+    "StepProfile",
+    "ResonatorMode",
+    "GyroParameters",
+    "VibratingRingGyro",
+    "CapacitivePressureSensor",
+    "GenericSensingElement",
+    "InductivePositionSensor",
+    "ResistiveBridgeSensor",
+    "SensingElementSpec",
+]

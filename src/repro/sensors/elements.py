@@ -1,0 +1,147 @@
+"""Generic automotive sensing elements.
+
+The whole point of the generic platform (Section 3 of the paper) is that
+the same analog/digital resource set conditions *many* classes of
+sensors — capacitive, resistive, inductive — by picking the right analog
+cells from the IP portfolio and reprogramming the digital chain.  These
+simple behavioural elements let the platform-reuse examples and the
+design-space-exploration benches exercise that claim with sensors other
+than the gyro.
+
+Each element maps a physical quantity to an electrical output (voltage,
+capacitance-derived voltage, or impedance-derived voltage) with gain and
+offset temperature drift plus white output noise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..common.exceptions import ConfigurationError
+from ..common.units import ROOM_TEMPERATURE_C
+
+
+@dataclass
+class SensingElementSpec:
+    """Common specification shared by the generic sensing elements.
+
+    Attributes:
+        full_scale: maximum physical input magnitude (element units).
+        sensitivity: electrical output per physical unit at 25 °C [V/unit].
+        offset_v: electrical offset at 25 °C [V].
+        sensitivity_tc_ppm_per_c: sensitivity drift [ppm/°C].
+        offset_tc_v_per_c: offset drift [V/°C].
+        noise_density_v_rthz: white output-noise density [V/√Hz].
+        nonlinearity_fraction: quadratic-term coefficient as a fraction of
+            full scale (0 = perfectly linear).
+    """
+
+    full_scale: float
+    sensitivity: float
+    offset_v: float = 0.0
+    sensitivity_tc_ppm_per_c: float = -100.0
+    offset_tc_v_per_c: float = 1e-4
+    noise_density_v_rthz: float = 1e-6
+    nonlinearity_fraction: float = 0.001
+
+    def __post_init__(self) -> None:
+        if self.full_scale <= 0:
+            raise ConfigurationError("full scale must be > 0")
+        if self.sensitivity == 0:
+            raise ConfigurationError("sensitivity must be non-zero")
+        if self.noise_density_v_rthz < 0:
+            raise ConfigurationError("noise density must be >= 0")
+
+
+class GenericSensingElement:
+    """Behavioural model of a generic (non-gyro) sensing element."""
+
+    #: Human-readable transduction class, overridden by subclasses.
+    transduction = "generic"
+
+    def __init__(self, spec: SensingElementSpec, sample_rate_hz: float,
+                 seed: Optional[int] = 0):
+        if sample_rate_hz <= 0:
+            raise ConfigurationError("sample rate must be > 0")
+        self.spec = spec
+        self.sample_rate_hz = float(sample_rate_hz)
+        self._rng = np.random.default_rng(seed)
+        self._noise_sigma = (spec.noise_density_v_rthz
+                             * np.sqrt(self.sample_rate_hz / 2.0))
+
+    def output_voltage(self, physical_input: float,
+                       temperature_c: float = ROOM_TEMPERATURE_C) -> float:
+        """Noiseless electrical output for a physical input."""
+        s = self.spec
+        dt_c = temperature_c - ROOM_TEMPERATURE_C
+        sensitivity = s.sensitivity * (1.0 + s.sensitivity_tc_ppm_per_c * 1e-6 * dt_c)
+        offset = s.offset_v + s.offset_tc_v_per_c * dt_c
+        normalized = physical_input / s.full_scale
+        nonlinear_term = s.nonlinearity_fraction * normalized * abs(normalized)
+        return offset + sensitivity * (physical_input + nonlinear_term * s.full_scale)
+
+    def step(self, physical_input: float,
+             temperature_c: float = ROOM_TEMPERATURE_C) -> float:
+        """One noisy output sample for a physical input."""
+        noise = self._rng.normal(0.0, self._noise_sigma) if self._noise_sigma else 0.0
+        return self.output_voltage(physical_input, temperature_c) + noise
+
+    def ideal_sensitivity(self) -> float:
+        """Nominal sensitivity at 25 °C [V/unit]."""
+        return self.spec.sensitivity
+
+
+class CapacitivePressureSensor(GenericSensingElement):
+    """Capacitive pressure-sensing element (e.g. MAP sensor).
+
+    Input unit: kPa.  Defaults model a 20–300 kPa manifold pressure
+    sensor with a ~4 mV/kPa front-end referred sensitivity.
+    """
+
+    transduction = "capacitive"
+
+    def __init__(self, sample_rate_hz: float, seed: Optional[int] = 0,
+                 spec: Optional[SensingElementSpec] = None):
+        spec = spec or SensingElementSpec(
+            full_scale=300.0, sensitivity=4e-3, offset_v=0.2,
+            noise_density_v_rthz=2e-6, nonlinearity_fraction=0.002)
+        super().__init__(spec, sample_rate_hz, seed)
+
+
+class ResistiveBridgeSensor(GenericSensingElement):
+    """Piezoresistive Wheatstone-bridge element (e.g. acceleration, pressure).
+
+    Input unit: element units (g for an accelerometer).  The bridge output
+    is differential and small (mV range) — it needs the platform's
+    programmable-gain amplifier.
+    """
+
+    transduction = "resistive"
+
+    def __init__(self, sample_rate_hz: float, seed: Optional[int] = 0,
+                 spec: Optional[SensingElementSpec] = None):
+        spec = spec or SensingElementSpec(
+            full_scale=50.0, sensitivity=2e-4, offset_v=1e-3,
+            noise_density_v_rthz=5e-7, nonlinearity_fraction=0.005)
+        super().__init__(spec, sample_rate_hz, seed)
+
+
+class InductivePositionSensor(GenericSensingElement):
+    """Inductive (LVDT-style) position element.
+
+    Input unit: millimetres of displacement.  The carrier
+    modulation/demodulation is handled by the platform's DSP chain, so
+    the element model exposes the demodulated envelope directly.
+    """
+
+    transduction = "inductive"
+
+    def __init__(self, sample_rate_hz: float, seed: Optional[int] = 0,
+                 spec: Optional[SensingElementSpec] = None):
+        spec = spec or SensingElementSpec(
+            full_scale=10.0, sensitivity=0.05, offset_v=0.0,
+            noise_density_v_rthz=1e-6, nonlinearity_fraction=0.003)
+        super().__init__(spec, sample_rate_hz, seed)

@@ -1,0 +1,417 @@
+"""Tests for the analog front-end models."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.afe import (
+    AdcConfig,
+    AmplifierConfig,
+    AntiAliasFilter,
+    BANDWIDTH_SELECT_HZ,
+    ChargeAmplifier,
+    ChargeAmplifierConfig,
+    ClockConfig,
+    ClockGenerator,
+    CurrentReference,
+    Dac,
+    DacConfig,
+    FrontEndConfig,
+    GyroAnalogFrontEnd,
+    PowerSupply,
+    ProgrammableGainAmplifier,
+    ReferenceConfig,
+    SarAdc,
+    SinglePoleLowPass,
+    SupplyConfig,
+    VoltageReference,
+    build_trim_bank,
+    offset_trim_to_volts,
+    volts_to_offset_trim,
+)
+from repro.common import ConfigurationError
+
+FS = 120_000.0
+
+
+class TestSarAdc:
+    def test_lsb_size(self):
+        adc = SarAdc(AdcConfig(bits=12, vref=2.5))
+        assert adc.lsb_volts == pytest.approx(5.0 / 4096)
+
+    def test_zero_converts_to_zero(self):
+        adc = SarAdc(AdcConfig(bits=12, vref=2.5))
+        assert adc.convert(0.0) == 0
+
+    def test_full_scale_codes(self):
+        adc = SarAdc(AdcConfig(bits=8, vref=1.0))
+        assert adc.convert(10.0) == 127
+        assert adc.convert(-10.0) == -128
+
+    def test_code_range(self):
+        adc = SarAdc(AdcConfig(bits=10, vref=1.0))
+        assert adc.code_range == (-512, 511)
+
+    def test_round_trip_error_below_lsb(self):
+        adc = SarAdc(AdcConfig(bits=12, vref=2.5))
+        for v in np.linspace(-2.4, 2.4, 37):
+            assert abs(adc.sample(v) - v) <= adc.lsb_volts
+
+    def test_offset_error_shifts_codes(self):
+        ideal = SarAdc(AdcConfig(bits=12, vref=2.5))
+        offset = SarAdc(AdcConfig(bits=12, vref=2.5, offset_error_v=0.1))
+        assert offset.convert(0.0) > ideal.convert(0.0)
+
+    def test_gain_error_scales(self):
+        adc = SarAdc(AdcConfig(bits=12, vref=2.5, gain_error=0.1))
+        assert adc.convert(1.0) == pytest.approx(
+            SarAdc(AdcConfig(bits=12, vref=2.5)).convert(1.1), abs=1)
+
+    def test_temperature_drift(self):
+        adc = SarAdc(AdcConfig(bits=12, vref=2.5, offset_tc_v_per_c=1e-4))
+        assert adc.convert(1.0, temperature_c=125.0) > adc.convert(1.0, temperature_c=25.0)
+
+    def test_noise_changes_repeated_conversions(self):
+        adc = SarAdc(AdcConfig(bits=14, vref=2.5, noise_rms_v=1e-3), seed=0)
+        codes = {adc.convert(1.0) for _ in range(50)}
+        assert len(codes) > 1
+
+    def test_inl_bows_midscale(self):
+        adc = SarAdc(AdcConfig(bits=12, vref=2.5, inl_lsb=2.0))
+        ideal = SarAdc(AdcConfig(bits=12, vref=2.5))
+        assert adc.convert(0.0) != ideal.convert(0.0) or \
+            adc.convert(1.25) != ideal.convert(1.25)
+
+    def test_set_resolution(self):
+        adc = SarAdc(AdcConfig(bits=12, vref=2.5))
+        adc.set_resolution(8)
+        assert adc.code_range == (-128, 127)
+        with pytest.raises(ConfigurationError):
+            adc.set_resolution(20)
+
+    def test_normalized_sample_in_unit_range(self):
+        adc = SarAdc(AdcConfig(bits=12, vref=2.5))
+        assert -1.0 <= adc.normalized_sample(5.0) <= 1.0
+        assert adc.normalized_sample(1.25) == pytest.approx(0.5, abs=0.01)
+
+    def test_rejects_invalid_config(self):
+        with pytest.raises(ConfigurationError):
+            AdcConfig(bits=4)
+        with pytest.raises(ConfigurationError):
+            AdcConfig(vref=0.0)
+        with pytest.raises(ConfigurationError):
+            AdcConfig(noise_rms_v=-1.0)
+
+    @given(st.floats(min_value=-2.5, max_value=2.5),
+           st.integers(min_value=8, max_value=16))
+    @settings(max_examples=100, deadline=None)
+    def test_quantisation_error_bounded(self, voltage, bits):
+        adc = SarAdc(AdcConfig(bits=bits, vref=2.5))
+        assert abs(adc.sample(voltage) - voltage) <= adc.lsb_volts
+
+    @given(st.floats(min_value=-2.0, max_value=2.0))
+    @settings(max_examples=50, deadline=None)
+    def test_monotone(self, voltage):
+        adc = SarAdc(AdcConfig(bits=12, vref=2.5))
+        assert adc.convert(voltage + 0.01) >= adc.convert(voltage)
+
+
+class TestDac:
+    def test_bipolar_output_range(self):
+        dac = Dac(DacConfig(bits=12, vref=2.5, bipolar=True))
+        assert dac.write_normalized(1.0) == pytest.approx(2.5, abs=0.01)
+        assert dac.write_normalized(-1.0) == pytest.approx(-2.5, abs=0.01)
+        assert dac.write_normalized(0.0) == pytest.approx(0.0, abs=dac.lsb_volts)
+
+    def test_unipolar_output_range(self):
+        dac = Dac(DacConfig(bits=12, vref=5.0, bipolar=False))
+        assert dac.write_normalized(0.5) == pytest.approx(2.5, abs=0.01)
+        assert dac.write_normalized(0.0) == pytest.approx(0.0, abs=0.01)
+        assert dac.write_normalized(2.0) == pytest.approx(5.0, abs=0.01)
+
+    def test_output_holds_value(self):
+        dac = Dac(DacConfig(bits=12, vref=2.5))
+        dac.write_normalized(0.3)
+        assert dac.output == pytest.approx(0.3 * 2.5, abs=dac.lsb_volts)
+
+    def test_quantisation(self):
+        dac = Dac(DacConfig(bits=6, vref=1.0))
+        fine = Dac(DacConfig(bits=14, vref=1.0))
+        coarse_out = dac.write_normalized(0.1234)
+        fine_out = fine.write_normalized(0.1234)
+        assert abs(coarse_out - fine_out) > fine.lsb_volts
+
+    def test_write_voltage(self):
+        dac = Dac(DacConfig(bits=12, vref=2.5))
+        assert dac.write_voltage(1.0) == pytest.approx(1.0, abs=dac.lsb_volts)
+
+    def test_reset(self):
+        dac = Dac(DacConfig(bits=12, vref=2.5, bipolar=True))
+        dac.write_normalized(0.7)
+        dac.reset()
+        assert dac.output == 0.0
+        uni = Dac(DacConfig(bits=12, vref=5.0, bipolar=False))
+        uni.reset()
+        assert uni.output == pytest.approx(2.5)
+
+    def test_set_resolution_and_validation(self):
+        dac = Dac(DacConfig(bits=12, vref=2.5))
+        dac.set_resolution(8)
+        assert dac.lsb_volts == pytest.approx(5.0 / 256)
+        with pytest.raises(ConfigurationError):
+            dac.set_resolution(3)
+        with pytest.raises(ConfigurationError):
+            DacConfig(bits=40)
+        with pytest.raises(ConfigurationError):
+            DacConfig(vref=-1.0)
+
+    @given(st.floats(min_value=-1.0, max_value=1.0))
+    @settings(max_examples=50, deadline=None)
+    def test_output_close_to_request(self, value):
+        dac = Dac(DacConfig(bits=12, vref=2.5))
+        assert abs(dac.write_normalized(value) - value * 2.5) <= dac.lsb_volts
+
+
+class TestAmplifiers:
+    def test_pga_gain_selection(self):
+        pga = ProgrammableGainAmplifier(
+            AmplifierConfig(gain_settings=(1.0, 2.0, 4.0), gain_index=0,
+                            bandwidth_hz=None), FS)
+        assert pga.gain == 1.0
+        assert pga.select_gain(2) == 4.0
+        with pytest.raises(ConfigurationError):
+            pga.select_gain(5)
+
+    def test_pga_amplifies(self):
+        pga = ProgrammableGainAmplifier(
+            AmplifierConfig(gain_settings=(4.0,), gain_index=0, bandwidth_hz=None),
+            FS)
+        assert pga.step(0.1) == pytest.approx(0.4)
+
+    def test_pga_saturates_at_rails(self):
+        pga = ProgrammableGainAmplifier(
+            AmplifierConfig(gain_settings=(64.0,), gain_index=0,
+                            bandwidth_hz=None, rail_v=2.5), FS)
+        assert pga.step(1.0) == pytest.approx(2.5)
+        assert pga.step(-1.0) == pytest.approx(-2.5)
+
+    def test_pga_bandwidth_limits_response(self):
+        pga = ProgrammableGainAmplifier(
+            AmplifierConfig(gain_settings=(1.0,), gain_index=0,
+                            bandwidth_hz=1000.0), FS)
+        first = pga.step(1.0)
+        assert first < 0.5  # slow single pole cannot reach the target in one sample
+        for _ in range(int(FS / 100)):
+            last = pga.step(1.0)
+        assert last == pytest.approx(1.0, rel=0.01)
+
+    def test_pga_set_bandwidth(self):
+        pga = ProgrammableGainAmplifier(
+            AmplifierConfig(gain_settings=(1.0,), gain_index=0), FS)
+        pga.set_bandwidth(None)
+        assert pga.step(1.0) == pytest.approx(1.0)
+        with pytest.raises(ConfigurationError):
+            pga.set_bandwidth(-10.0)
+
+    def test_pga_offset_and_temperature(self):
+        pga = ProgrammableGainAmplifier(
+            AmplifierConfig(gain_settings=(1.0,), gain_index=0, bandwidth_hz=None,
+                            offset_v=0.01, offset_tc_v_per_c=1e-4), FS)
+        out25 = pga.step(0.0, temperature_c=25.0)
+        pga.reset()
+        out125 = pga.step(0.0, temperature_c=125.0)
+        assert out25 == pytest.approx(0.01)
+        assert out125 > out25
+
+    def test_pga_config_validation(self):
+        with pytest.raises(ConfigurationError):
+            AmplifierConfig(gain_settings=())
+        with pytest.raises(ConfigurationError):
+            AmplifierConfig(gain_settings=(0.0,))
+        with pytest.raises(ConfigurationError):
+            AmplifierConfig(gain_index=10)
+        with pytest.raises(ConfigurationError):
+            AmplifierConfig(bandwidth_hz=-1.0)
+        with pytest.raises(ConfigurationError):
+            AmplifierConfig(rail_v=0.0)
+
+    def test_charge_amp_gain_and_clipping(self):
+        camp = ChargeAmplifier(ChargeAmplifierConfig(transimpedance_gain=2.0,
+                                                     rail_v=1.0), FS)
+        assert camp.step(0.2) == pytest.approx(0.4)
+        assert camp.step(5.0) == pytest.approx(1.0)
+
+    def test_charge_amp_validation(self):
+        with pytest.raises(ConfigurationError):
+            ChargeAmplifierConfig(transimpedance_gain=0.0)
+        with pytest.raises(ConfigurationError):
+            ChargeAmplifier(ChargeAmplifierConfig(), 0.0)
+
+
+class TestFiltersAndReferences:
+    def test_single_pole_dc_gain_unity(self):
+        f = SinglePoleLowPass(1000.0, FS)
+        for _ in range(int(FS / 100)):
+            out = f.step(1.0)
+        assert out == pytest.approx(1.0, rel=0.01)
+
+    def test_single_pole_attenuates_high_freq(self):
+        f = SinglePoleLowPass(100.0, FS)
+        t = np.arange(int(FS * 0.05)) / FS
+        x = np.sin(2 * np.pi * 10000.0 * t)
+        y = f.process(x)
+        assert np.std(y[len(y) // 2:]) < 0.05 * np.std(x)
+
+    def test_single_pole_validation(self):
+        with pytest.raises(ConfigurationError):
+            SinglePoleLowPass(0.0, FS)
+        with pytest.raises(ConfigurationError):
+            SinglePoleLowPass(FS, FS)
+
+    def test_antialias_magnitude(self):
+        aa = AntiAliasFilter(40000.0, FS)
+        assert aa.magnitude_at(0.0) == pytest.approx(1.0)
+        assert aa.magnitude_at(40000.0) == pytest.approx(0.5)
+
+    def test_antialias_reset(self):
+        aa = AntiAliasFilter(10000.0, FS)
+        aa.step(1.0)
+        aa.reset()
+        assert aa.step(0.0) == 0.0
+
+    def test_voltage_reference_drift(self):
+        ref = VoltageReference(ReferenceConfig(nominal=2.5, tc_ppm_per_c=20.0))
+        assert ref.value(25.0) == pytest.approx(2.5)
+        assert ref.value(125.0) == pytest.approx(2.5 * (1 + 20e-6 * 100))
+
+    def test_current_reference(self):
+        ref = CurrentReference(ReferenceConfig(nominal=1e-3))
+        assert ref.value() == pytest.approx(1e-3)
+
+    def test_reference_validation(self):
+        with pytest.raises(ConfigurationError):
+            ReferenceConfig(nominal=0.0)
+
+    def test_power_supply(self):
+        psu = PowerSupply(SupplyConfig(nominal_v=5.0))
+        assert psu.midsupply() == pytest.approx(2.5)
+        assert psu.analog_rail() <= 5.0 * 1.01
+        with pytest.raises(ConfigurationError):
+            psu.analog_rail(external_v=0.1)
+
+    def test_clock_generator(self):
+        clk = ClockGenerator(ClockConfig(frequency_hz=20e6), frequency_error_ppm=50.0)
+        assert clk.actual_frequency_hz == pytest.approx(20e6 * (1 + 50e-6))
+        assert clk.cycles_in(1e-3) == pytest.approx(20000, abs=2)
+        with pytest.raises(ConfigurationError):
+            ClockGenerator(ClockConfig(), frequency_error_ppm=1000.0)
+        with pytest.raises(ConfigurationError):
+            clk.cycles_in(-1.0)
+
+
+class TestTrimBank:
+    def test_default_registers_present(self):
+        bank = build_trim_bank()
+        for name in ("afe_primary_gain", "afe_adc_bits", "afe_status"):
+            assert name in bank
+
+    def test_offset_trim_conversion_round_trip(self):
+        for volts in (-0.05, 0.0, 0.02, 0.0999):
+            code = volts_to_offset_trim(volts)
+            assert offset_trim_to_volts(code) == pytest.approx(volts, abs=1e-4)
+
+    def test_offset_trim_clamps(self):
+        assert volts_to_offset_trim(10.0) == 0xFFFF
+        assert volts_to_offset_trim(-10.0) == 0
+
+    def test_status_read_only(self):
+        bank = build_trim_bank()
+        bank.write("afe_status", 0x0)
+        assert bank.read("afe_status") & 0x1 == 1
+
+
+class TestGyroAnalogFrontEnd:
+    def test_construction_default(self):
+        afe = GyroAnalogFrontEnd()
+        assert afe.trim.read("afe_adc_bits") == 12
+
+    def test_acquire_returns_normalized_pair(self):
+        afe = GyroAnalogFrontEnd()
+        p, s = afe.acquire(0.1, -0.05)
+        assert -1.0 <= p <= 1.0
+        assert -1.0 <= s <= 1.0
+
+    def test_acquire_tracks_input(self):
+        cfg = FrontEndConfig()
+        cfg.adc.noise_rms_v = 0.0
+        cfg.primary_amplifier.noise_density_v_rthz = 0.0
+        cfg.charge_amplifier.noise_density_v_rthz = 0.0
+        afe = GyroAnalogFrontEnd(cfg)
+        outputs = [afe.acquire(0.5, 0.0)[0] for _ in range(200)]
+        # settled output reflects PGA gain of the primary channel (x2 default)
+        assert outputs[-1] == pytest.approx(0.5 * 2.0 / 2.5, rel=0.05)
+
+    def test_overload_flag(self):
+        afe = GyroAnalogFrontEnd()
+        for _ in range(100):
+            afe.acquire(10.0, 0.0)
+        assert afe.overload
+        assert afe.trim.register("afe_status").read_field("overload") == 1
+
+    def test_drive_outputs_voltages(self):
+        afe = GyroAnalogFrontEnd()
+        drive_v, control_v = afe.drive(0.5, -0.25)
+        assert drive_v == pytest.approx(0.5 * 2.5, abs=0.01)
+        assert control_v == pytest.approx(-0.25 * 2.5, abs=0.01)
+
+    def test_rate_output_centred_on_midsupply(self):
+        afe = GyroAnalogFrontEnd()
+        null = afe.rate_output(0.0)
+        assert null == pytest.approx(2.5, abs=0.01)
+        assert afe.rate_output(0.5) > null
+        assert afe.rate_output(-0.5) < null
+
+    def test_gain_trim_changes_acquisition(self):
+        cfg = FrontEndConfig()
+        cfg.adc.noise_rms_v = 0.0
+        cfg.primary_amplifier.noise_density_v_rthz = 0.0
+        cfg.charge_amplifier.noise_density_v_rthz = 0.0
+        afe = GyroAnalogFrontEnd(cfg)
+        afe.trim.write("afe_primary_gain", 0)  # gain 1
+        low = [afe.acquire(0.2, 0.0)[0] for _ in range(100)][-1]
+        afe.trim.write("afe_primary_gain", 2)  # gain 4
+        high = [afe.acquire(0.2, 0.0)[0] for _ in range(100)][-1]
+        assert high == pytest.approx(4 * low, rel=0.05)
+
+    def test_adc_bits_trim_changes_resolution(self):
+        afe = GyroAnalogFrontEnd()
+        afe.trim.write("afe_adc_bits", 8)
+        assert afe.primary_adc.config.bits == 8
+        afe.trim.write("afe_adc_bits", 30)  # clamped to 16
+        assert afe.primary_adc.config.bits == 16
+
+    def test_bandwidth_trim_changes_antialias(self):
+        afe = GyroAnalogFrontEnd()
+        afe.trim.write("afe_bandwidth_sel", 0)
+        assert afe.primary_antialias.cutoff_hz == BANDWIDTH_SELECT_HZ[0]
+
+    def test_output_offset_trim_moves_null(self):
+        afe = GyroAnalogFrontEnd()
+        null_before = afe.rate_output(0.0)
+        afe.trim.write("afe_output_offset_trim", volts_to_offset_trim(0.05))
+        null_after = afe.rate_output(0.0)
+        assert null_after - null_before == pytest.approx(0.05, abs=0.01)
+
+    def test_reset(self):
+        afe = GyroAnalogFrontEnd()
+        afe.acquire(1.0, 1.0)
+        afe.drive(0.5, 0.5)
+        afe.reset()
+        assert afe.drive_dac.output == 0.0
+
+    def test_config_validation(self):
+        with pytest.raises(ConfigurationError):
+            FrontEndConfig(sample_rate_hz=0.0)
+        with pytest.raises(ConfigurationError):
+            FrontEndConfig(rate_output_sensitivity_v_per_fs=0.0)

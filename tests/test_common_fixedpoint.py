@@ -1,0 +1,243 @@
+"""Unit and property tests for repro.common.fixedpoint."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common import (
+    ConfigurationError,
+    FixedPointOverflowError,
+    FixedPointValue,
+    QFormat,
+    format_for_bits,
+    quantization_noise_power,
+    quantize,
+)
+
+
+class TestQFormat:
+    def test_word_length_signed(self):
+        fmt = QFormat(int_bits=1, frac_bits=14, signed=True)
+        assert fmt.word_length == 16
+
+    def test_word_length_unsigned(self):
+        fmt = QFormat(int_bits=4, frac_bits=4, signed=False)
+        assert fmt.word_length == 8
+
+    def test_lsb(self):
+        fmt = QFormat(int_bits=0, frac_bits=3)
+        assert fmt.lsb == pytest.approx(0.125)
+
+    def test_max_min_signed(self):
+        fmt = QFormat(int_bits=1, frac_bits=2)
+        assert fmt.max_value == pytest.approx(2.0 - 0.25)
+        assert fmt.min_value == pytest.approx(-2.0)
+
+    def test_min_unsigned_is_zero(self):
+        fmt = QFormat(int_bits=2, frac_bits=2, signed=False)
+        assert fmt.min_value == 0.0
+
+    def test_invalid_bits_rejected(self):
+        with pytest.raises(ConfigurationError):
+            QFormat(int_bits=-1, frac_bits=4)
+
+    def test_zero_magnitude_bits_rejected(self):
+        with pytest.raises(ConfigurationError):
+            QFormat(int_bits=0, frac_bits=0)
+
+    def test_invalid_rounding_rejected(self):
+        with pytest.raises(ConfigurationError):
+            QFormat(int_bits=1, frac_bits=4, rounding="banker")
+
+    def test_invalid_overflow_rejected(self):
+        with pytest.raises(ConfigurationError):
+            QFormat(int_bits=1, frac_bits=4, overflow="explode")
+
+    def test_describe_mentions_bits(self):
+        fmt = QFormat(int_bits=2, frac_bits=13)
+        assert "sQ2.13" in fmt.describe()
+        assert "16" in fmt.describe()
+
+    def test_from_word_length(self):
+        fmt = QFormat.from_word_length(16, frac_bits=14)
+        assert fmt.int_bits == 1
+        assert fmt.word_length == 16
+
+    def test_from_word_length_too_small(self):
+        with pytest.raises(ConfigurationError):
+            QFormat.from_word_length(4, frac_bits=10)
+
+    def test_raw_round_trip(self):
+        fmt = QFormat(int_bits=1, frac_bits=8)
+        raw = fmt.to_raw(0.5)
+        assert raw == 128
+        assert fmt.from_raw(raw) == pytest.approx(0.5)
+
+    def test_raw_round_trip_array(self):
+        fmt = QFormat(int_bits=1, frac_bits=8)
+        values = np.array([0.25, -0.5, 1.0])
+        raw = fmt.to_raw(values)
+        back = fmt.from_raw(raw)
+        assert np.allclose(back, values)
+
+
+class TestQuantize:
+    def test_exact_representable_value_unchanged(self):
+        fmt = QFormat(int_bits=1, frac_bits=4)
+        assert quantize(0.5, fmt) == 0.5
+
+    def test_rounding_nearest(self):
+        fmt = QFormat(int_bits=1, frac_bits=2)  # lsb = 0.25
+        assert quantize(0.3, fmt) == pytest.approx(0.25)
+        assert quantize(0.4, fmt) == pytest.approx(0.5)
+
+    def test_rounding_floor(self):
+        fmt = QFormat(int_bits=1, frac_bits=2, rounding="floor")
+        assert quantize(0.49, fmt) == pytest.approx(0.25)
+        assert quantize(-0.01, fmt) == pytest.approx(-0.25)
+
+    def test_rounding_truncate_toward_zero(self):
+        fmt = QFormat(int_bits=1, frac_bits=2, rounding="truncate")
+        assert quantize(-0.49, fmt) == pytest.approx(-0.25)
+        assert quantize(0.49, fmt) == pytest.approx(0.25)
+
+    def test_saturation_positive(self):
+        fmt = QFormat(int_bits=1, frac_bits=3)
+        assert quantize(10.0, fmt) == pytest.approx(fmt.max_value)
+
+    def test_saturation_negative(self):
+        fmt = QFormat(int_bits=1, frac_bits=3)
+        assert quantize(-10.0, fmt) == pytest.approx(fmt.min_value)
+
+    def test_overflow_error_mode(self):
+        fmt = QFormat(int_bits=1, frac_bits=3, overflow="error")
+        with pytest.raises(FixedPointOverflowError):
+            quantize(5.0, fmt)
+
+    def test_wrap_mode_wraps(self):
+        fmt = QFormat(int_bits=1, frac_bits=3, overflow="wrap")
+        # max + lsb wraps to min
+        wrapped = quantize(fmt.max_value + fmt.lsb, fmt)
+        assert wrapped == pytest.approx(fmt.min_value)
+
+    def test_array_in_array_out(self):
+        fmt = QFormat(int_bits=1, frac_bits=8)
+        arr = np.linspace(-1, 1, 11)
+        out = quantize(arr, fmt)
+        assert isinstance(out, np.ndarray)
+        assert out.shape == arr.shape
+
+    def test_scalar_in_scalar_out(self):
+        fmt = QFormat(int_bits=1, frac_bits=8)
+        out = quantize(0.1, fmt)
+        assert isinstance(out, float)
+
+    def test_quantization_noise_power(self):
+        fmt = QFormat(int_bits=0, frac_bits=11)
+        assert quantization_noise_power(fmt) == pytest.approx(fmt.lsb ** 2 / 12.0)
+
+    @given(st.floats(min_value=-1.9, max_value=1.9),
+           st.integers(min_value=2, max_value=20))
+    @settings(max_examples=200, deadline=None)
+    def test_quantization_error_bounded_by_half_lsb(self, value, frac_bits):
+        # int_bits=2 keeps every generated value inside the representable
+        # range, so the error bound is pure rounding (no saturation).
+        fmt = QFormat(int_bits=2, frac_bits=frac_bits)
+        q = quantize(value, fmt)
+        assert abs(q - value) <= fmt.lsb / 2 + 1e-12
+
+    @given(st.floats(min_value=-100, max_value=100),
+           st.integers(min_value=1, max_value=16))
+    @settings(max_examples=200, deadline=None)
+    def test_quantize_is_idempotent(self, value, frac_bits):
+        fmt = QFormat(int_bits=4, frac_bits=frac_bits)
+        once = quantize(value, fmt)
+        twice = quantize(once, fmt)
+        assert once == twice
+
+    @given(st.floats(min_value=-1000, max_value=1000))
+    @settings(max_examples=100, deadline=None)
+    def test_saturated_value_always_in_range(self, value):
+        fmt = QFormat(int_bits=2, frac_bits=10)
+        q = quantize(value, fmt)
+        assert fmt.min_value <= q <= fmt.max_value
+
+    @given(st.lists(st.floats(min_value=-1.0, max_value=1.0), min_size=1, max_size=50))
+    @settings(max_examples=50, deadline=None)
+    def test_quantize_monotone(self, values):
+        fmt = QFormat(int_bits=1, frac_bits=10)
+        ordered = np.sort(np.asarray(values))
+        q = quantize(ordered, fmt)
+        assert np.all(np.diff(q) >= -1e-15)
+
+
+class TestFixedPointValue:
+    def test_construction_quantizes(self):
+        fmt = QFormat(int_bits=1, frac_bits=2)
+        fp = FixedPointValue(0.3, fmt)
+        assert fp.value == pytest.approx(0.25)
+
+    def test_addition_stays_in_format(self):
+        fmt = QFormat(int_bits=1, frac_bits=4)
+        a = FixedPointValue(0.5, fmt)
+        b = FixedPointValue(0.25, fmt)
+        assert (a + b).value == pytest.approx(0.75)
+
+    def test_addition_saturates(self):
+        fmt = QFormat(int_bits=1, frac_bits=4)
+        a = FixedPointValue(1.5, fmt)
+        b = FixedPointValue(1.5, fmt)
+        assert (a + b).value == pytest.approx(fmt.max_value)
+
+    def test_multiplication(self):
+        fmt = QFormat(int_bits=1, frac_bits=8)
+        a = FixedPointValue(0.5, fmt)
+        assert (a * 0.5).value == pytest.approx(0.25)
+
+    def test_subtraction_and_negation(self):
+        fmt = QFormat(int_bits=1, frac_bits=8)
+        a = FixedPointValue(0.75, fmt)
+        b = FixedPointValue(0.25, fmt)
+        assert (a - b).value == pytest.approx(0.5)
+        assert (-a).value == pytest.approx(-0.75)
+
+    def test_reflected_ops(self):
+        fmt = QFormat(int_bits=1, frac_bits=8)
+        a = FixedPointValue(0.25, fmt)
+        assert (1.0 - a).value == pytest.approx(0.75)
+        assert (2 * a).value == pytest.approx(0.5)
+        assert (0.5 + a).value == pytest.approx(0.75)
+
+    def test_float_conversion(self):
+        fmt = QFormat(int_bits=1, frac_bits=8)
+        assert float(FixedPointValue(0.5, fmt)) == 0.5
+
+    def test_equality(self):
+        fmt = QFormat(int_bits=1, frac_bits=8)
+        assert FixedPointValue(0.5, fmt) == FixedPointValue(0.5, fmt)
+        assert FixedPointValue(0.5, fmt) == 0.5
+        assert FixedPointValue(0.5, fmt) != 0.25
+
+    def test_raw_code(self):
+        fmt = QFormat(int_bits=1, frac_bits=8)
+        assert FixedPointValue(0.5, fmt).raw == 128
+
+
+class TestFormatForBits:
+    def test_unit_full_scale(self):
+        fmt = format_for_bits(16, full_scale=1.0)
+        assert fmt.word_length == 16
+        assert fmt.max_value >= 0.99
+
+    def test_larger_full_scale(self):
+        fmt = format_for_bits(16, full_scale=4.0)
+        assert fmt.max_value >= 3.9
+
+    def test_rejects_impossible(self):
+        with pytest.raises(ConfigurationError):
+            format_for_bits(2, full_scale=1024.0)
+
+    def test_rejects_nonpositive_full_scale(self):
+        with pytest.raises(ConfigurationError):
+            format_for_bits(8, full_scale=0.0)

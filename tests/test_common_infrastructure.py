@@ -1,0 +1,450 @@
+"""Tests for units, timebase, blocks, registers, noise and analysis helpers."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common import (
+    BitField,
+    Block,
+    Cascade,
+    ConfigurationError,
+    Gain,
+    NoiseSource,
+    Passthrough,
+    Register,
+    RegisterError,
+    RegisterFile,
+    Saturator,
+    SimulationClock,
+    Timebase,
+    ac_rms,
+    amplitude_spectral_density,
+    band_average_density,
+    crossing_time,
+    envelope_amplitude,
+    linear_fit,
+    nonlinearity_percent_fs,
+    rms,
+    settling_time,
+    thermal_voltage_noise_density,
+    three_db_bandwidth,
+    tone_amplitude_phase,
+    units,
+    white_noise,
+)
+
+
+class TestUnits:
+    def test_deg_rad_round_trip(self):
+        assert units.rad_to_deg(units.deg_to_rad(123.0)) == pytest.approx(123.0)
+
+    def test_dps_rps(self):
+        assert units.dps_to_rps(180.0) == pytest.approx(math.pi)
+        assert units.rps_to_dps(math.pi) == pytest.approx(180.0)
+
+    def test_temperature_round_trip(self):
+        assert units.kelvin_to_celsius(units.celsius_to_kelvin(25.0)) == pytest.approx(25.0)
+        assert units.celsius_to_kelvin(0.0) == pytest.approx(273.15)
+
+    def test_db_conversions(self):
+        assert units.db_to_linear(20.0) == pytest.approx(10.0)
+        assert units.linear_to_db(10.0) == pytest.approx(20.0)
+        assert units.power_db_to_linear(10.0) == pytest.approx(10.0)
+        assert units.power_linear_to_db(100.0) == pytest.approx(20.0)
+
+    def test_db_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            units.linear_to_db(0.0)
+        with pytest.raises(ValueError):
+            units.power_linear_to_db(-1.0)
+
+    def test_seconds_samples(self):
+        assert units.seconds_to_samples(1.0, 1000.0) == 1000
+        assert units.samples_to_seconds(500, 1000.0) == pytest.approx(0.5)
+
+    def test_seconds_to_samples_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            units.seconds_to_samples(1.0, 0.0)
+        with pytest.raises(ValueError):
+            units.seconds_to_samples(-1.0, 100.0)
+
+    def test_full_scale_fraction(self):
+        assert units.full_scale_fraction(1.0, 4.0) == pytest.approx(0.25)
+        with pytest.raises(ValueError):
+            units.full_scale_fraction(1.0, 0.0)
+
+    def test_ratiometric_output(self):
+        v = units.volts_per_dps_to_volts(0.005, 100.0, null_v=2.5)
+        assert v == pytest.approx(3.0)
+
+
+class TestTimebase:
+    def test_dt_and_nyquist(self):
+        tb = Timebase(1000.0)
+        assert tb.dt == pytest.approx(0.001)
+        assert tb.nyquist_hz == pytest.approx(500.0)
+
+    def test_rejects_nonpositive_rate(self):
+        with pytest.raises(ConfigurationError):
+            Timebase(0.0)
+
+    def test_n_samples_and_duration(self):
+        tb = Timebase(48000.0)
+        assert tb.n_samples(1.0) == 48000
+        assert tb.duration(24000) == pytest.approx(0.5)
+
+    def test_time_vector(self):
+        tb = Timebase(10.0)
+        t = tb.time_vector(5)
+        assert np.allclose(t, [0.0, 0.1, 0.2, 0.3, 0.4])
+
+    def test_decimated(self):
+        tb = Timebase(1000.0).decimated(4)
+        assert tb.sample_rate_hz == pytest.approx(250.0)
+
+    def test_decimated_rejects_bad_factor(self):
+        with pytest.raises(ConfigurationError):
+            Timebase(1000.0).decimated(0)
+
+    def test_phase_increment(self):
+        tb = Timebase(1000.0)
+        assert tb.phase_increment(250.0) == pytest.approx(math.pi / 2)
+
+    def test_clock_tick_and_reset(self):
+        clk = SimulationClock(Timebase(100.0))
+        clk.tick(50)
+        assert clk.sample_index == 50
+        assert clk.now == pytest.approx(0.5)
+        clk.reset()
+        assert clk.now == 0.0
+
+    def test_clock_rejects_negative_tick(self):
+        clk = SimulationClock(Timebase(100.0))
+        with pytest.raises(ConfigurationError):
+            clk.tick(-1)
+
+
+class TestBlocks:
+    def test_passthrough(self):
+        assert Passthrough().step(3.3) == 3.3
+
+    def test_gain(self):
+        assert Gain(2.0).step(1.5) == 3.0
+
+    def test_saturator(self):
+        sat = Saturator(-1.0, 1.0)
+        assert sat.step(5.0) == 1.0
+        assert sat.step(-5.0) == -1.0
+        assert sat.step(0.5) == 0.5
+
+    def test_saturator_rejects_inverted_limits(self):
+        with pytest.raises(ValueError):
+            Saturator(1.0, -1.0)
+
+    def test_cascade(self):
+        chain = Cascade([Gain(2.0), Gain(3.0), Saturator(-10, 10)])
+        assert chain.step(1.0) == 6.0
+        assert chain.step(10.0) == 10.0
+
+    def test_process_streams_array(self):
+        out = Gain(2.0).process(np.array([1.0, 2.0, 3.0]))
+        assert np.allclose(out, [2.0, 4.0, 6.0])
+
+    def test_block_repr_contains_name(self):
+        assert "mygain" in repr(Gain(1.0, name="mygain"))
+
+
+class TestRegisters:
+    def test_field_extract_insert(self):
+        f = BitField("mode", lsb=4, width=2)
+        word = f.insert(0, 3)
+        assert word == 0x30
+        assert f.extract(word) == 3
+
+    def test_field_rejects_oversized_value(self):
+        f = BitField("mode", lsb=0, width=2)
+        with pytest.raises(RegisterError):
+            f.insert(0, 4)
+
+    def test_field_rejects_bad_reset(self):
+        with pytest.raises(RegisterError):
+            BitField("x", lsb=0, width=1, reset=2)
+
+    def test_register_read_write(self):
+        reg = Register("ctrl", 0x10, width=16)
+        reg.write(0xABCD)
+        assert reg.read() == 0xABCD
+
+    def test_register_masks_to_width(self):
+        reg = Register("ctrl", 0x10, width=8)
+        reg.write(0x1FF)
+        assert reg.read() == 0xFF
+
+    def test_read_only_register_ignores_writes(self):
+        reg = Register("status", 0x11, access="ro", reset=0x5)
+        reg.write(0xFF)
+        assert reg.read() == 0x5
+        reg.hw_write(0x7)
+        assert reg.read() == 0x7
+
+    def test_w1c_register(self):
+        reg = Register("irq", 0x12, access="w1c")
+        reg.hw_write(0b1010)
+        reg.write(0b0010)
+        assert reg.read() == 0b1000
+
+    def test_register_fields(self):
+        reg = Register("cfg", 0x13, width=16, fields=[
+            BitField("gain", lsb=0, width=4, reset=2),
+            BitField("enable", lsb=8, width=1, reset=1),
+        ])
+        assert reg.read_field("gain") == 2
+        assert reg.read_field("enable") == 1
+        reg.write_field("gain", 7)
+        assert reg.read_field("gain") == 7
+        assert reg.read_field("enable") == 1
+
+    def test_register_rejects_overlapping_fields(self):
+        with pytest.raises(RegisterError):
+            Register("cfg", 0x13, fields=[
+                BitField("a", lsb=0, width=4),
+                BitField("b", lsb=3, width=2),
+            ])
+
+    def test_register_rejects_field_beyond_width(self):
+        with pytest.raises(RegisterError):
+            Register("cfg", 0x13, width=8, fields=[BitField("a", lsb=7, width=2)])
+
+    def test_register_unknown_field(self):
+        reg = Register("cfg", 0x13)
+        with pytest.raises(RegisterError):
+            reg.read_field("nope")
+
+    def test_register_reset(self):
+        reg = Register("cfg", 0x0, reset=0x42)
+        reg.write(0x1)
+        reg.reset()
+        assert reg.read() == 0x42
+
+    def test_register_file_name_and_address_access(self):
+        rf = RegisterFile("dsp")
+        rf.define("pll_status", 0x00, access="ro")
+        rf.define("agc_gain", 0x02)
+        rf.write("agc_gain", 0x33)
+        assert rf.read("agc_gain") == 0x33
+        assert rf.bus_read(0x02) == 0x33
+        rf.bus_write(0x02, 0x44)
+        assert rf.read("agc_gain") == 0x44
+
+    def test_register_file_rejects_duplicates(self):
+        rf = RegisterFile()
+        rf.define("a", 0x0)
+        with pytest.raises(RegisterError):
+            rf.define("a", 0x2)
+        with pytest.raises(RegisterError):
+            rf.define("b", 0x0)
+
+    def test_register_file_unknown_lookups(self):
+        rf = RegisterFile()
+        with pytest.raises(RegisterError):
+            rf.read("missing")
+        with pytest.raises(RegisterError):
+            rf.bus_read(0x100)
+
+    def test_register_file_write_callback(self):
+        rf = RegisterFile()
+        rf.define("ctrl", 0x0)
+        seen = []
+        rf.on_write("ctrl", seen.append)
+        rf.write("ctrl", 5)
+        rf.bus_write(0x0, 9)
+        assert seen == [5, 9]
+
+    def test_register_file_dump_and_map(self):
+        rf = RegisterFile()
+        rf.define("a", 0x4, reset=1)
+        rf.define("b", 0x0, reset=2)
+        dump = rf.dump()
+        assert dump == {"a": 1, "b": 2}
+        addresses = [addr for addr, _, _ in rf.address_map()]
+        assert addresses == sorted(addresses)
+        assert len(rf) == 2
+
+    def test_register_file_reset(self):
+        rf = RegisterFile()
+        rf.define("a", 0x0, reset=7)
+        rf.write("a", 0)
+        rf.reset()
+        assert rf.read("a") == 7
+
+
+class TestNoise:
+    def test_white_noise_density_matches_request(self):
+        fs = 10000.0
+        density = 0.01
+        x = white_noise(200000, density, fs, rng=np.random.default_rng(1))
+        measured = band_average_density(x, fs, (100.0, 4000.0))
+        assert measured == pytest.approx(density, rel=0.15)
+
+    def test_white_noise_zero_density(self):
+        assert np.all(white_noise(100, 0.0, 1000.0) == 0.0)
+
+    def test_white_noise_rejects_bad_args(self):
+        with pytest.raises(ConfigurationError):
+            white_noise(-1, 0.1, 100.0)
+        with pytest.raises(ConfigurationError):
+            white_noise(10, -0.1, 100.0)
+        with pytest.raises(ConfigurationError):
+            white_noise(10, 0.1, 0.0)
+
+    def test_noise_source_reproducible_with_seed(self):
+        a = NoiseSource(white_density=1e-3, seed=42).generate(1000, 1000.0)
+        b = NoiseSource(white_density=1e-3, seed=42).generate(1000, 1000.0)
+        assert np.array_equal(a, b)
+
+    def test_noise_source_reset_repeats_sequence(self):
+        src = NoiseSource(white_density=1e-3, seed=7)
+        first = src.generate(100, 1000.0)
+        src.reset()
+        second = src.generate(100, 1000.0)
+        assert np.array_equal(first, second)
+
+    def test_noise_source_sample_scalar(self):
+        src = NoiseSource(white_density=1e-3, seed=3)
+        value = src.sample(1000.0)
+        assert isinstance(value, float)
+        assert NoiseSource(white_density=0.0).sample(1000.0) == 0.0
+
+    def test_thermal_noise_density_order_of_magnitude(self):
+        # 1 kOhm at 25 C is about 4 nV/sqrt(Hz)
+        density = thermal_voltage_noise_density(1000.0, 25.0)
+        assert density == pytest.approx(4.07e-9, rel=0.05)
+
+    def test_thermal_noise_rejects_negative_resistance(self):
+        with pytest.raises(ConfigurationError):
+            thermal_voltage_noise_density(-1.0)
+
+    def test_rms_and_ac_rms(self):
+        x = np.ones(100) * 2.0
+        assert rms(x) == pytest.approx(2.0)
+        assert ac_rms(x) == pytest.approx(0.0)
+        with pytest.raises(ConfigurationError):
+            rms(np.array([]))
+
+    def test_asd_of_sine_peaks_at_tone(self):
+        fs = 1000.0
+        t = np.arange(8192) / fs
+        x = np.sin(2 * np.pi * 100.0 * t)
+        freqs, asd = amplitude_spectral_density(x, fs)
+        peak_freq = freqs[np.argmax(asd)]
+        assert peak_freq == pytest.approx(100.0, abs=5.0)
+
+    def test_asd_rejects_tiny_records(self):
+        with pytest.raises(ConfigurationError):
+            amplitude_spectral_density(np.zeros(4), 100.0)
+
+    def test_band_average_rejects_empty_band(self):
+        x = np.random.default_rng(0).normal(size=4096)
+        with pytest.raises(ConfigurationError):
+            band_average_density(x, 1000.0, (400.0, 400.0000001))
+
+
+class TestAnalysis:
+    def test_linear_fit_recovers_line(self):
+        x = np.linspace(-10, 10, 50)
+        y = 3.0 * x + 1.5
+        fit = linear_fit(x, y)
+        assert fit.slope == pytest.approx(3.0)
+        assert fit.offset == pytest.approx(1.5)
+        assert fit.max_abs_residual == pytest.approx(0.0, abs=1e-9)
+
+    def test_linear_fit_predict(self):
+        fit = linear_fit(np.array([0.0, 1.0]), np.array([1.0, 3.0]))
+        assert fit.predict(np.array([2.0]))[0] == pytest.approx(5.0)
+
+    def test_linear_fit_rejects_mismatched(self):
+        with pytest.raises(ConfigurationError):
+            linear_fit(np.array([1.0, 2.0]), np.array([1.0]))
+
+    def test_nonlinearity_zero_for_perfect_line(self):
+        x = np.linspace(-300, 300, 31)
+        y = 0.005 * x + 2.5
+        assert nonlinearity_percent_fs(x, y) == pytest.approx(0.0, abs=1e-9)
+
+    def test_nonlinearity_quadratic_bow(self):
+        x = np.linspace(-1, 1, 101)
+        y = x + 0.01 * x ** 2
+        nl = nonlinearity_percent_fs(x, y)
+        assert 0.0 < nl < 5.0
+
+    def test_settling_time_step_response(self):
+        t = np.linspace(0, 1, 1001)
+        tau = 0.1
+        y = 1.0 - np.exp(-t / tau)
+        ts = settling_time(t, y, final_value=1.0, tolerance=0.02)
+        assert ts == pytest.approx(tau * math.log(1 / 0.02), rel=0.05)
+
+    def test_settling_time_already_settled(self):
+        t = np.linspace(0, 1, 100)
+        y = np.ones(100)
+        assert settling_time(t, y) == pytest.approx(0.0)
+
+    def test_envelope_amplitude_of_sine(self):
+        fs = 10000.0
+        t = np.arange(5000) / fs
+        x = 0.7 * np.sin(2 * np.pi * 500.0 * t)
+        env = envelope_amplitude(x, window=200)
+        middle = env[1000:4000]
+        assert np.mean(middle) == pytest.approx(0.7, rel=0.02)
+
+    def test_envelope_rejects_bad_window(self):
+        with pytest.raises(ConfigurationError):
+            envelope_amplitude(np.zeros(10), window=1)
+
+    def test_tone_amplitude_phase(self):
+        fs = 8000.0
+        t = np.arange(4000) / fs
+        x = 1.3 * np.cos(2 * np.pi * 440.0 * t + 0.4)
+        amp, phase = tone_amplitude_phase(x, 440.0, fs)
+        assert amp == pytest.approx(1.3, rel=0.01)
+        assert phase == pytest.approx(0.4, abs=0.02)
+
+    def test_three_db_bandwidth_first_order(self):
+        fc = 50.0
+        freqs = np.linspace(1.0, 500.0, 2000)
+        mag = 1.0 / np.sqrt(1.0 + (freqs / fc) ** 2)
+        assert three_db_bandwidth(freqs, mag) == pytest.approx(fc, rel=0.02)
+
+    def test_three_db_bandwidth_flat_response(self):
+        freqs = np.linspace(1.0, 100.0, 100)
+        mag = np.ones(100)
+        assert three_db_bandwidth(freqs, mag) == pytest.approx(100.0)
+
+    def test_crossing_time_rising(self):
+        t = np.linspace(0, 1, 101)
+        y = t.copy()
+        assert crossing_time(t, y, 0.5, rising=True) == pytest.approx(0.5, abs=0.01)
+
+    def test_crossing_time_falling(self):
+        t = np.linspace(0, 1, 101)
+        y = 1.0 - t
+        assert crossing_time(t, y, 0.5, rising=False) == pytest.approx(0.5, abs=0.01)
+
+    def test_crossing_time_never(self):
+        t = np.linspace(0, 1, 11)
+        y = np.zeros(11)
+        assert crossing_time(t, y, 0.5) is None
+
+    @given(st.floats(min_value=0.1, max_value=5.0),
+           st.floats(min_value=-2.0, max_value=2.0))
+    @settings(max_examples=50, deadline=None)
+    def test_linear_fit_property(self, slope, offset):
+        x = np.linspace(0, 10, 20)
+        y = slope * x + offset
+        fit = linear_fit(x, y)
+        assert fit.slope == pytest.approx(slope, rel=1e-6, abs=1e-9)
+        assert fit.offset == pytest.approx(offset, rel=1e-6, abs=1e-6)

@@ -1,0 +1,448 @@
+"""Tests for the 8051 subsystem: memories, core, assembler, peripherals, JTAG."""
+
+import pytest
+
+from repro.common import AssemblerError, BusError, ConfigurationError, IllegalOpcodeError
+from repro.common.registers import Register, RegisterFile
+from repro.gyro import GyroConditioner, GyroConditionerConfig
+from repro.mcu import (
+    Assembler,
+    BRIDGE_BASE,
+    BusBridge,
+    CodeMemory,
+    ExternalBus,
+    FRAME_HEADER_LOCKED,
+    FRAME_HEADER_UNLOCKED,
+    IDCODE_VALUE,
+    InternalRam,
+    JtagTap,
+    Mcs51Core,
+    McuSubsystem,
+    SpiController,
+    SpiEeprom,
+    SramController,
+    TapState,
+    Timer,
+    Uart,
+    Watchdog,
+    assemble,
+)
+from repro.afe import build_trim_bank
+
+
+class TestMemories:
+    def test_code_memory_load_and_read(self):
+        mem = CodeMemory(1024)
+        mem.load(b"\x01\x02\x03", origin=0x10)
+        assert mem.read(0x10) == 1
+        assert mem.read(0x12) == 3
+
+    def test_code_memory_bounds(self):
+        mem = CodeMemory(16)
+        with pytest.raises(BusError):
+            mem.load(b"\x00" * 32)
+        with pytest.raises(BusError):
+            mem.read(100)
+        with pytest.raises(ConfigurationError):
+            CodeMemory(0)
+
+    def test_code_memory_write_protection(self):
+        rom = CodeMemory(16, writable=False)
+        with pytest.raises(BusError):
+            rom.write(0, 0xAA)
+        ram = CodeMemory(16, writable=True)
+        ram.write(0, 0xAA)
+        assert ram.read(0) == 0xAA
+
+    def test_internal_ram(self):
+        ram = InternalRam()
+        ram.write(0x30, 0x55)
+        assert ram.read(0x30) == 0x55
+        ram.clear()
+        assert ram.read(0x30) == 0
+        with pytest.raises(BusError):
+            ram.read(300)
+
+    def test_external_bus_ram_and_regions(self):
+        bus = ExternalBus(ram_size=256)
+        bus.write(0x10, 0x42)
+        assert bus.read(0x10) == 0x42
+        store = {}
+        bus.map_region(0x1000, 0x1010,
+                       read=lambda a: store.get(a, 0),
+                       write=lambda a, v: store.__setitem__(a, v))
+        bus.write(0x1004, 0x77)
+        assert bus.read(0x1004) == 0x77
+        with pytest.raises(BusError):
+            bus.read(0x5000)
+        with pytest.raises(ConfigurationError):
+            bus.map_region(0x1008, 0x1020, lambda a: 0, lambda a, v: None)
+
+
+class TestCoreExecution:
+    def _run(self, source, max_instructions=10000):
+        core = Mcs51Core()
+        core.load_program(assemble(source))
+        core.run(max_instructions)
+        return core
+
+    def test_mov_immediate_and_direct(self):
+        core = self._run("MOV A, #0x42\nMOV 0x30, A\nHALT: SJMP HALT")
+        assert core.acc == 0x42
+        assert core.iram.read(0x30) == 0x42
+
+    def test_mov_registers(self):
+        core = self._run("MOV R0, #0x11\nMOV A, R0\nMOV R5, A\nHALT: SJMP HALT")
+        assert core.reg(5) == 0x11
+
+    def test_add_sets_carry(self):
+        core = self._run("MOV A, #0xF0\nADD A, #0x20\nHALT: SJMP HALT")
+        assert core.acc == 0x10
+        assert core.carry == 1
+
+    def test_subb(self):
+        core = self._run("CLR C\nMOV A, #0x10\nSUBB A, #0x01\nHALT: SJMP HALT")
+        assert core.acc == 0x0F
+        assert core.carry == 0
+
+    def test_logic_operations(self):
+        core = self._run("MOV A, #0xF0\nANL A, #0x3C\nORL A, #0x01\nXRL A, #0xFF\n"
+                         "HALT: SJMP HALT")
+        assert core.acc == (((0xF0 & 0x3C) | 0x01) ^ 0xFF)
+
+    def test_djnz_loop_counts(self):
+        source = """
+            MOV R2, #5
+            MOV A, #0
+        LOOP:
+            INC A
+            DJNZ R2, LOOP
+        HALT: SJMP HALT
+        """
+        core = self._run(source)
+        assert core.acc == 5
+
+    def test_cjne_branch(self):
+        source = """
+            MOV A, #3
+            CJNE A, #4, NOTEQ
+            MOV R0, #1
+            SJMP HALT
+        NOTEQ:
+            MOV R0, #2
+        HALT: SJMP HALT
+        """
+        core = self._run(source)
+        assert core.reg(0) == 2
+
+    def test_lcall_and_ret(self):
+        source = """
+            LCALL SUB
+            MOV R1, #0x99
+        HALT: SJMP HALT
+        SUB:
+            MOV R0, #0x55
+            RET
+        """
+        core = self._run(source)
+        assert core.reg(0) == 0x55
+        assert core.reg(1) == 0x99
+
+    def test_bit_operations(self):
+        core = self._run("SETB 0x00\nCLR 0x01\nHALT: SJMP HALT")
+        # bit 0x00 lives in IRAM byte 0x20
+        assert core.iram.read(0x20) & 0x01 == 1
+
+    def test_jb_jnb(self):
+        source = """
+            SETB 0x07
+            JB 0x07, TAKEN
+            MOV R0, #1
+            SJMP HALT
+        TAKEN:
+            MOV R0, #2
+        HALT: SJMP HALT
+        """
+        assert self._run(source).reg(0) == 2
+
+    def test_movx_roundtrip(self):
+        source = """
+            MOV DPTR, #0x0040
+            MOV A, #0xAB
+            MOVX @DPTR, A
+            CLR A
+            MOVX A, @DPTR
+        HALT: SJMP HALT
+        """
+        core = self._run(source)
+        assert core.acc == 0xAB
+
+    def test_movc_table_lookup(self):
+        source = """
+            MOV DPTR, #TABLE
+            MOV A, #2
+            MOVC A, @A+DPTR
+        HALT: SJMP HALT
+        TABLE:
+            DB 0x10, 0x20, 0x30, 0x40
+        """
+        assert self._run(source).acc == 0x30
+
+    def test_mul_div(self):
+        core = self._run("MOV A, #7\nMOV 0xF0, #6\nMUL AB\nHALT: SJMP HALT")
+        assert core.acc == 42
+        core = self._run("MOV A, #43\nMOV 0xF0, #6\nDIV AB\nHALT: SJMP HALT")
+        assert core.acc == 7
+        assert core.sfr.read(0xF0) == 1
+
+    def test_swap_and_rotates(self):
+        assert self._run("MOV A, #0x12\nSWAP A\nHALT: SJMP HALT").acc == 0x21
+        assert self._run("MOV A, #0x81\nRL A\nHALT: SJMP HALT").acc == 0x03
+        assert self._run("MOV A, #0x81\nRR A\nHALT: SJMP HALT").acc == 0xC0
+
+    def test_push_pop(self):
+        core = self._run("MOV A, #0x5A\nPUSH 0xE0\nCLR A\nPOP 0xE0\nHALT: SJMP HALT")
+        assert core.acc == 0x5A
+
+    def test_stack_depth(self):
+        core = Mcs51Core()
+        sp_before = core.sp
+        core.push(0x12)
+        assert core.sp == sp_before + 1
+        assert core.pop() == 0x12
+        assert core.sp == sp_before
+
+    def test_illegal_opcode_raises(self):
+        core = Mcs51Core()
+        core.load_program(bytes([0xA5]))  # 0xA5 is unused in MCS-51
+        with pytest.raises(IllegalOpcodeError):
+            core.step()
+
+    def test_reset(self):
+        core = self._run("MOV A, #1\nHALT: SJMP HALT")
+        core.reset()
+        assert core.pc == 0
+        assert core.acc == 0
+        assert not core.halted
+
+    def test_run_instruction_cap(self):
+        core = Mcs51Core()
+        core.load_program(assemble("LOOP: SJMP LOOP2\nLOOP2: SJMP LOOP"))
+        executed = core.run(max_instructions=50)
+        assert executed == 50
+
+
+class TestAssembler:
+    def test_org_and_db(self):
+        image = assemble("ORG 0x03\nDB 0xAA, 0xBB")
+        assert image[0:3] == b"\x00\x00\x00"
+        assert image[3] == 0xAA
+
+    def test_equ_symbols(self):
+        image = assemble("VALUE EQU 0x42\nMOV A, #VALUE\nHALT: SJMP HALT")
+        assert image[1] == 0x42
+
+    def test_labels_resolve_forward_and_backward(self):
+        image = assemble("START: MOV A, #1\nSJMP START")
+        assert image[-1] == 0xFC  # -4 relative
+
+    def test_unknown_mnemonic_rejected(self):
+        with pytest.raises(AssemblerError):
+            assemble("FLY A, #1")
+
+    def test_out_of_range_sjmp_rejected(self):
+        source = "SJMP FAR\n" + "NOP\n" * 200 + "FAR: NOP"
+        with pytest.raises(AssemblerError):
+            assemble(source)
+
+    def test_case_insensitive_mnemonics(self):
+        assert assemble("mov a, #1\nhalt: sjmp halt")[0] == 0x74
+
+    def test_hex_suffix_notation(self):
+        assert assemble("MOV A, #42h")[1] == 0x42
+
+
+class TestPeripherals:
+    def test_uart_tx(self):
+        uart = Uart()
+        uart._write_sbuf(0x41)
+        uart._write_sbuf(0x42)
+        assert uart.transmitted_bytes() == b"AB"
+        assert uart.transmitted_text() == "AB"
+
+    def test_uart_rx(self):
+        uart = Uart()
+        uart.host_send(b"\x10\x20")
+        assert uart._read_scon() & 0x01
+        assert uart._read_sbuf() == 0x10
+        assert uart._read_sbuf() == 0x20
+        assert uart._read_scon() & 0x01 == 0
+
+    def test_uart_validation(self):
+        with pytest.raises(ConfigurationError):
+            Uart(baud_rate=0)
+
+    def test_spi_transfer(self):
+        spi = SpiController()
+        spi.queue_miso(b"\x55")
+        assert spi.transfer(0xAA) == 0x55
+        assert spi.mosi_log == [0xAA]
+        assert spi.transfer(0x01) == 0xFF
+
+    def test_eeprom_round_trip(self):
+        eeprom = SpiEeprom(size=128)
+        eeprom.write_block(8, b"hello")
+        assert eeprom.read_block(8, 5) == b"hello"
+        with pytest.raises(BusError):
+            eeprom.write_block(126, b"xyz")
+
+    def test_timer_overflow(self):
+        timer = Timer(reload=0xFFF0)
+        timer.tick(0x10)
+        assert timer.overflows == 1
+        timer.tick(0x10)
+        assert timer.overflows == 2
+
+    def test_watchdog_expiry_and_service(self):
+        wdt = Watchdog(timeout_cycles=100)
+        wdt.tick(50)
+        wdt.service()
+        wdt.tick(99)
+        assert not wdt.expired
+        wdt.tick(1)
+        assert wdt.expired
+
+    def test_sram_logger(self):
+        sram = SramController(size_bytes=64)
+        for i in range(10):
+            sram.log_sample(0x1000 + i)
+        assert sram.read_sample(3) == 0x1003
+        assert sram.samples_logged == 10
+
+    def test_bridge_maps_register_file(self):
+        bus = ExternalBus()
+        bridge = BusBridge(0x8000)
+        bridge.connect(bus)
+        regs = RegisterFile("test")
+        regs.add(Register("value", 0x10, width=16, reset=0xBEEF))
+        bridge.attach_register_file(regs)
+        assert bus.read(0x8010) == 0xEF
+        assert bus.read(0x8011) == 0xBE
+        bus.write(0x8010, 0x34)
+        bus.write(0x8011, 0x12)
+        assert regs.read("value") == 0x1234
+
+    def test_bridge_unmapped_offset(self):
+        bus = ExternalBus()
+        bridge = BusBridge(0x8000)
+        bridge.connect(bus)
+        with pytest.raises(BusError):
+            bus.read(0x8500)
+
+
+class TestJtag:
+    def test_reset_state(self):
+        tap = JtagTap()
+        tap.reset()
+        assert tap.state is TapState.TEST_LOGIC_RESET
+
+    def test_idcode_read(self):
+        tap = JtagTap()
+        assert tap.read_idcode() == IDCODE_VALUE
+
+    def test_trim_write_and_readback(self):
+        trim = build_trim_bank()
+        tap = JtagTap(trim)
+        tap.write_trim_register(0x04, 14)  # afe_adc_bits
+        assert trim.read("afe_adc_bits") == 14
+        assert tap.read_trim_register(0x04) == 14
+
+    def test_full_readback_of_every_trim_register(self):
+        trim = build_trim_bank()
+        tap = JtagTap(trim)
+        for address, name, value in trim.address_map():
+            assert tap.read_trim_register(address) == value
+
+    def test_bypass_instruction(self):
+        tap = JtagTap()
+        tap.load_instruction(0xF)
+        assert tap.shift_data(0b1, 1) in (0, 1)
+
+    def test_tap_navigation_error_free(self):
+        tap = JtagTap()
+        tap.reset()
+        tap.clock(0)
+        assert tap.state is TapState.RUN_TEST_IDLE
+
+
+class TestMcuSubsystem:
+    def test_monitor_firmware_reports_unlocked(self):
+        mcu = McuSubsystem()
+        conditioner = GyroConditioner(GyroConditionerConfig(status_update_interval=1))
+        conditioner.step(0.0, 0.0)  # status registers now valid, PLL unlocked
+        mcu.connect_dsp_registers(conditioner.registers)
+        mcu.load_monitor_firmware()
+        mcu.run()
+        tx = mcu.uart.transmitted_bytes()
+        assert tx.count(bytes([FRAME_HEADER_UNLOCKED])) >= 1
+        assert FRAME_HEADER_LOCKED not in tx
+
+    def test_monitor_firmware_reports_locked_rate(self):
+        mcu = McuSubsystem()
+        conditioner = GyroConditioner(GyroConditionerConfig(status_update_interval=1))
+        conditioner.step(0.0, 0.0)
+        # force the status/rate registers as the DSP hardware would
+        conditioner.registers.register("dsp_status").hw_write(0x0007)
+        conditioner.registers.register("dsp_rate_out").hw_write(0x1234)
+        mcu.connect_dsp_registers(conditioner.registers)
+        mcu.load_monitor_firmware()
+        mcu.run()
+        tx = mcu.uart.transmitted_bytes()
+        assert tx[0] == FRAME_HEADER_LOCKED
+        assert tx[1] == 0x34 and tx[2] == 0x12
+
+    def test_firmware_can_trim_afe_via_bridge(self):
+        mcu = McuSubsystem()
+        trim = build_trim_bank()
+        mcu.connect_trim_bank(trim)
+        source = """
+            MOV DPTR, #0x8004   ; afe_adc_bits low byte
+            MOV A, #14
+            MOVX @DPTR, A
+        HALT: SJMP HALT
+        """
+        mcu.load_firmware_source(source)
+        mcu.run()
+        assert trim.read("afe_adc_bits") == 14
+
+    def test_uart_download_requires_writable_code(self):
+        rom_system = McuSubsystem(code_writable=False)
+        with pytest.raises(ConfigurationError):
+            rom_system.download_firmware_via_uart(b"\x00")
+        proto = McuSubsystem(code_writable=True)
+        image = assemble("MOV A, #7\nHALT: SJMP HALT")
+        proto.download_firmware_via_uart(image)
+        proto.run()
+        assert proto.core.acc == 7
+
+    def test_eeprom_boot_path(self):
+        mcu = McuSubsystem()
+        image = assemble("MOV R0, #0x77\nHALT: SJMP HALT")
+        mcu.store_firmware_in_eeprom(image)
+        mcu.boot_from_eeprom(len(image))
+        mcu.run()
+        assert mcu.core.reg(0) == 0x77
+
+    def test_watchdog_ticks_during_run(self):
+        mcu = McuSubsystem()
+        mcu.watchdog.timeout_cycles = 10
+        mcu.load_firmware_source("LOOP: NOP\nSJMP LOOP")
+        mcu.run(max_instructions=100)
+        assert mcu.watchdog.expired
+
+    def test_jtag_and_bridge_see_same_trim_bank(self):
+        mcu = McuSubsystem()
+        trim = build_trim_bank()
+        mcu.connect_trim_bank(trim)
+        mcu.jtag.write_trim_register(0x02, 5)
+        assert mcu.xdata.read(BRIDGE_BASE + 0x02) == 5
