@@ -1,0 +1,118 @@
+"""Engine performance report: reference vs. fused vs. batched.
+
+Times the three co-simulation paths on the same fixed workload — the
+Fig. 5 drive-loop locking scenario (sensor at rest from power-on) — and
+writes ``BENCH_engine.json`` at the repository root so the perf
+trajectory can be tracked across PRs.
+
+Schema: a list of ``{path, samples_per_sec, speedup_vs_reference}``
+records under ``"entries"``.  ``samples_per_sec`` is simulated
+samples per wall-clock second; for the batched path all fleet lanes
+count, so its speedup is the *per-scenario* throughput gain at ``B``
+lanes.
+
+Run with:  PYTHONPATH=src python benchmarks/perf_report.py [--quick]
+"""
+
+import argparse
+import json
+import os
+import sys
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.engine import FleetSimulator                    # noqa: E402
+from repro.platform import GyroPlatform, GyroPlatformConfig  # noqa: E402
+from repro.sensors import Environment                      # noqa: E402
+
+REPO_ROOT = os.path.abspath(os.path.join(os.path.dirname(__file__), ".."))
+REPORT_PATH = os.path.join(REPO_ROOT, "BENCH_engine.json")
+
+DURATION_S = 0.5   # the fixed locking scenario
+BATCH_LANES = 32
+
+
+REPEATS = 2  # best-of-N to damp scheduler noise
+
+
+def _time_engine(engine: str, duration_s: float) -> float:
+    best = float("inf")
+    for _ in range(REPEATS):
+        platform = GyroPlatform(GyroPlatformConfig())
+        start = time.perf_counter()
+        platform.run(Environment.still(), duration_s, reset=True,
+                     engine=engine)
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _time_batch(lanes: int, duration_s: float) -> float:
+    best = float("inf")
+    for _ in range(REPEATS):
+        fleet = FleetSimulator.from_config(GyroPlatformConfig(), lanes)
+        start = time.perf_counter()
+        fleet.run(Environment.still(), duration_s, reset=True)
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def build_report(duration_s: float = DURATION_S,
+                 lanes: int = BATCH_LANES) -> dict:
+    """Time the three engines and return the report dictionary."""
+    fs = GyroPlatformConfig().sample_rate_hz
+    n = int(round(duration_s * fs))
+
+    t_ref = _time_engine("reference", duration_s)
+    t_fused = _time_engine("fused", duration_s)
+    t_batch = _time_batch(lanes, duration_s)
+
+    sps_ref = n / t_ref
+    entries = []
+    for path, sps in (("reference", sps_ref),
+                      ("fused", n / t_fused),
+                      (f"batched[B={lanes}]", n * lanes / t_batch)):
+        entries.append({
+            "path": path,
+            "samples_per_sec": round(sps, 1),
+            "speedup_vs_reference": round(sps / sps_ref, 2),
+        })
+    return {
+        "scenario": ("fig5 locking run: sensor at rest from power-on, "
+                     f"{duration_s} s @ {fs:.0f} Hz"),
+        "samples": n,
+        "batch_lanes": lanes,
+        "entries": entries,
+    }
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="shorter run (0.1 s, 8 lanes) for smoke tests; "
+                             "printed only, not written to the tracked report")
+    parser.add_argument("--output", default=None,
+                        help=f"report path (default {REPORT_PATH}; quick "
+                             "runs are not written unless a path is given)")
+    args = parser.parse_args()
+
+    duration = 0.1 if args.quick else DURATION_S
+    lanes = 8 if args.quick else BATCH_LANES
+    report = build_report(duration, lanes)
+    # a --quick run measures a different scenario: never let it silently
+    # overwrite the tracked perf-trajectory file
+    output = args.output or (None if args.quick else REPORT_PATH)
+    if output is not None:
+        with open(output, "w") as fh:
+            json.dump(report, fh, indent=2)
+            fh.write("\n")
+        print(f"wrote {output}")
+    else:
+        print("quick run (not written; pass --output to save)")
+    for entry in report["entries"]:
+        print(f"  {entry['path']:<16s} {entry['samples_per_sec']:>12,.0f} "
+              f"samples/s   {entry['speedup_vs_reference']:>6.2f}x")
+
+
+if __name__ == "__main__":
+    main()

@@ -15,6 +15,7 @@ Subpackages
 ``repro.mcu``       8051 microcontroller subsystem (ISS, buses, peripherals, JTAG)
 ``repro.gyro``      gyro conditioning chain (drive loop, sense chain)
 ``repro.platform``  generic platform, IP portfolio, case-study instance
+``repro.engine``    fast co-simulation engines (fused kernel, batched fleet)
 ``repro.flow``      platform-based design flow (partitioning, DSE, prototyping)
 ``repro.eval``      metric harness, baselines and datasheet comparisons
 """

@@ -152,6 +152,33 @@ class BufferedGaussianNoise:
         self._index += 1
         return float(value)
 
+    def take(self, n: int) -> np.ndarray:
+        """Return the next ``n`` samples as an array.
+
+        Produces exactly the same sequence as ``n`` calls to
+        :meth:`next` — blocks are refilled on the same boundaries — and
+        leaves the buffer/index state where per-sample consumption would
+        have left it, so streaming and batched consumers can be mixed
+        freely.  With ``sigma == 0`` nothing is consumed and zeros are
+        returned, matching :meth:`next`.
+        """
+        if n < 0:
+            raise ConfigurationError("n must be >= 0")
+        if self.sigma == 0.0 or n == 0:
+            return np.zeros(n)
+        out = np.empty(n)
+        filled = 0
+        while filled < n:
+            if self._index >= self._buffer.size:
+                self._buffer = self._rng.normal(0.0, self.sigma, self._block_size)
+                self._index = 0
+            chunk = min(n - filled, self._buffer.size - self._index)
+            out[filled:filled + chunk] = \
+                self._buffer[self._index:self._index + chunk]
+            self._index += chunk
+            filled += chunk
+        return out
+
 
 def amplitude_spectral_density(x: np.ndarray, sample_rate_hz: float,
                                nperseg: Optional[int] = None

@@ -68,13 +68,42 @@ class CicDecimator:
         self._phase = 0
 
     def process(self, samples) -> np.ndarray:
-        """Stream an array through the decimator, returning output samples."""
-        outputs = []
-        for x in np.asarray(samples, dtype=np.float64):
-            y = self.step(float(x))
-            if y is not None:
-                outputs.append(y)
-        return np.asarray(outputs)
+        """Stream an array through the decimator, returning output samples.
+
+        Vectorised equivalent of repeated :meth:`step` calls: each
+        integrator stage is a running sum (computed with ``np.cumsum``
+        seeded by the carried state, so the accumulation order — and
+        therefore every rounding — matches the scalar loop), the
+        decimation keeps the samples :meth:`step` would have emitted, and
+        each comb stage is a first-order difference against the carried
+        comb state.  The streaming state is updated so ``step`` and
+        ``process`` calls can be interleaved freely.
+        """
+        x = np.asarray(samples, dtype=np.float64)
+        if x.size == 0:
+            return np.zeros(0)
+        # integrator cascade: cumsum seeded with the carried accumulator
+        acc = x
+        for i in range(self.order):
+            acc = np.cumsum(np.concatenate(([self._integrators[i]], acc)))[1:]
+            self._integrators[i] = float(acc[-1])
+        # decimation: step() emits when the phase counter reaches R
+        first = self.decimation - 1 - self._phase
+        self._phase = (self._phase + x.size) % self.decimation
+        kept = acc[first::self.decimation]
+        if kept.size == 0:
+            return np.zeros(0)
+        # comb cascade at the decimated rate: y[k] = v[k] - v[k-1] with the
+        # carried comb state standing in for v[-1]
+        value = kept
+        for i in range(self.order):
+            delayed = np.concatenate(([self._combs[i]], value[:-1]))
+            self._combs[i] = float(value[-1])
+            value = value - delayed
+        y = value / self._gain
+        if self.output_format is not None:
+            y = np.asarray(quantize(y, self.output_format))
+        return y
 
 
 class Downsampler:

@@ -168,7 +168,9 @@ class DigitalPll:
             else:
                 self._lock_counter = 0
         else:
-            # no signal yet: free-run at the centre frequency
+            # no signal yet: free-run at the centre frequency (drop any
+            # stale tuning word so the NCO really returns to the centre)
+            self.nco.tuning_hz = 0.0
             self._phase_error = 0.0
             self._lock_counter = 0
 

@@ -1,0 +1,646 @@
+"""Fused scalar co-simulation kernel.
+
+The reference :meth:`GyroPlatform.run` loop makes ~15 method calls per
+sample across the sensor, AFE, DSP and DAC objects; at 120 kHz that is
+millions of Python calls per simulated second.  This kernel flattens the
+entire closed loop — resonator modes, charge amps, PGAs, anti-alias
+filters, SAR ADCs, PLL (phase detector / PI / NCO), AGC, I/Q demod,
+output filters, compensation, force rebalance, start-up sequencer and
+drive/control DACs — into one function body operating on plain local
+floats, eliminating all per-sample attribute lookups and dispatch.
+
+The arithmetic replicates the reference chain operation-for-operation
+(same expression order, same rounding points, same RNG block draws), so
+the produced traces are bit-identical to the reference engine, including
+in fixed-point (prototype) mode.  The only intentional behavioural
+difference: the DSP monitor registers are refreshed once at the end of
+the run instead of every ``status_update_interval`` samples (firmware
+polling *during* a fused run would observe stale registers).
+
+All object state (filters, integrators, NCO phase, noise-generator
+buffers, start-up sequencer, DAC held outputs...) is read at entry and
+written back at exit, so reference and fused segments can be freely
+interleaved on the same platform with bit-identical results.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ..common.exceptions import ConfigurationError
+from ..gyro.startup import StartupState
+from ..platform.result import GyroSimulationResult
+from .state import (
+    biquad_sections,
+    scalar_quantizer,
+    sensor_temperature_plan,
+    writeback_biquads,
+)
+
+TWO_PI = 2.0 * math.pi
+
+
+def run_fused(platform, environment, duration_s: float,
+              record_waveforms: bool = False) -> GyroSimulationResult:
+    """Run the platform co-simulation with the fused scalar kernel.
+
+    Drop-in replacement for the reference loop body of
+    :meth:`GyroPlatform.run` (validation and reset are handled by the
+    caller).  Returns the same :class:`GyroSimulationResult` and leaves
+    the platform in the same state as the reference engine would.
+    """
+    cfg = platform.config
+    fs = cfg.sample_rate_hz
+    dt = 1.0 / fs
+    n = int(round(duration_s * fs))
+    dec = cfg.record_decimation
+    n_rec = n // dec + 1
+    start_time = platform._time_s
+
+    sensor = platform.sensor
+    frontend = platform.frontend
+    conditioner = platform.conditioner
+    drive_loop = conditioner.drive_loop
+    pll = drive_loop.pll
+    nco = pll.nco
+    agc = drive_loop.agc
+    sense = conditioner.sense_chain
+    rebalance = conditioner.rebalance
+    startup = conditioner.startup
+
+    # ---- per-sample stimulus / drift precompute (vectorised) --------------
+    t_arr = np.arange(n) * dt
+    rate_arr, temp_arr = environment.sample(t_arr)
+    dt_c = temp_arr - 25.0
+
+    tsens = cfg.temperature_sensor
+    meas_arr = (np.round((temp_arr + tsens.offset_error_c)
+                         / tsens.resolution_c) * tsens.resolution_c)
+    dtm = meas_arr - 25.0
+
+    # sensor temperature plan (mutates the sensor exactly as the reference
+    # per-sample _apply_temperature calls would)
+    events = sensor_temperature_plan(sensor, temp_arr)
+    ev_starts = [e[0] for e in events]
+    p = sensor.params
+    kq = (p.quadrature_error_dps * math.pi / 180.0) * 2.0 * p.angular_gain
+    kc = -2.0 * p.angular_gain
+    s_drive_gain = p.drive_gain_ms2_per_v
+    s_control_gain = p.control_gain_ms2_per_v
+    sens_noise = sensor._noise.take(n).tolist()
+
+    # analog front end constants / drift traces
+    ca_cfg = frontend.primary_charge_amp.config
+    ca_gain = ca_cfg.transimpedance_gain
+    ca_rail = ca_cfg.rail_v
+    ca_off = (ca_cfg.offset_v + ca_cfg.offset_tc_v_per_c * dt_c).tolist()
+    ca_p_noise = frontend.primary_charge_amp._noise.take(n).tolist()
+    ca_s_noise = frontend.secondary_charge_amp._noise.take(n).tolist()
+
+    pga_p = frontend.primary_pga
+    pga_s = frontend.secondary_pga
+    pga_p_gain = pga_p.gain
+    pga_s_gain = pga_s.gain
+    pga_p_alpha = pga_p._alpha
+    pga_s_alpha = pga_s._alpha
+    pga_p_rail = pga_p.config.rail_v
+    pga_s_rail = pga_s.config.rail_v
+    pga_p_off = (pga_p.config.offset_v
+                 + pga_p.config.offset_tc_v_per_c * dt_c).tolist()
+    pga_s_off = (pga_s.config.offset_v
+                 + pga_s.config.offset_tc_v_per_c * dt_c).tolist()
+    pga_p_noise = pga_p._noise.take(n).tolist()
+    pga_s_noise = pga_s._noise.take(n).tolist()
+    trim_p = frontend._offset_trim_primary_v
+    trim_s = frontend._offset_trim_secondary_v
+
+    aa_alpha = frontend.primary_antialias._first._alpha
+    aa_alpha_s = frontend.secondary_antialias._first._alpha
+
+    def adc_consts(adc):
+        c = adc.config
+        gain = ((1.0 + c.gain_error)
+                * (1.0 + c.gain_tc_ppm_per_c * 1e-6 * dt_c)).tolist()
+        off = (c.offset_error_v + c.offset_tc_v_per_c * dt_c).tolist()
+        return (gain, off, c.inl_lsb * adc._lsb, c.vref, adc._lsb,
+                float(adc._code_min), float(adc._code_max),
+                adc._noise.take(n).tolist() if c.noise_rms_v else None)
+
+    (adc_p_gain, adc_p_off, adc_p_kinl, adc_p_vref, adc_p_lsb,
+     adc_p_cmin, adc_p_cmax, adc_p_noise) = adc_consts(frontend.primary_adc)
+    (adc_s_gain, adc_s_off, adc_s_kinl, adc_s_vref, adc_s_lsb,
+     adc_s_cmin, adc_s_cmax, adc_s_noise) = adc_consts(frontend.secondary_adc)
+    ov_thr = 0.98 * frontend.config.adc.vref
+
+    def dac_consts(dac):
+        c = dac.config
+        gain = ((1.0 + c.gain_error)
+                * (1.0 + c.gain_tc_ppm_per_c * 1e-6 * dt_c)).tolist()
+        off = (c.offset_error_v + c.offset_tc_v_per_c * dt_c).tolist()
+        return gain, off, dac._lsb, c.vref, dac._out_min, dac._out_max
+
+    (ddac_gain, ddac_off, ddac_lsb, ddac_vref,
+     ddac_min, ddac_max) = dac_consts(frontend.drive_dac)
+    (cdac_gain, cdac_off, cdac_lsb, cdac_vref,
+     cdac_min, cdac_max) = dac_consts(frontend.control_dac)
+    (rdac_gain, rdac_off, rdac_lsb, rdac_vref,
+     rdac_min, rdac_max) = dac_consts(frontend.rate_output_dac)
+    mid = frontend.supply.config.nominal_v / 2.0
+    out_span = frontend.config.rate_output_sensitivity_v_per_fs
+    trim_out = frontend._offset_trim_output_v
+
+    # conditioning chain constants
+    pll_cfg = pll.config
+    pd_alpha = pll._pd_filter.alpha
+    amp_alpha = pll._amp_filter.alpha
+    pll_thr = pll_cfg.amplitude_threshold
+    pll_kp = pll_cfg.kp
+    pll_ki = pll_cfg.ki
+    lock_thr = pll_cfg.lock_threshold
+    lock_count = pll_cfg.lock_count
+    tuning_range = nco.tuning_range_hz
+    nco_fc = nco.center_frequency_hz
+    nco_fs = nco.sample_rate_hz
+    q_nco = scalar_quantizer(nco.output_format)
+
+    agc_cfg = agc.config
+    agc_target = agc_cfg.target_amplitude
+    agc_kp = agc_cfg.kp
+    agc_ki = agc_cfg.ki
+    agc_min = agc_cfg.min_gain
+    agc_max = agc_cfg.max_gain
+    settle_thr = agc_cfg.settle_threshold
+    q_agc = scalar_quantizer(agc_cfg.output_format)
+    q_drive = scalar_quantizer(drive_loop.config.output_format)
+
+    demod_alpha = sense.demodulator.in_phase._filter.alpha
+    q_demod = scalar_quantizer(sense.demodulator.in_phase.output_format)
+    qc_coeff = sense.quadrature_cancel.coefficient
+    q_qc = scalar_quantizer(sense.quadrature_cancel.output_format)
+    out_secs = biquad_sections(sense.output_filter)
+    q_out = scalar_quantizer(sense.output_filter.sections[0].output_format)
+    quad_secs = biquad_sections(sense.quadrature_filter)
+    q_quad = scalar_quantizer(sense.quadrature_filter.sections[0].output_format)
+    off_comp = sense.offset_comp.offset
+    q_off = scalar_quantizer(sense.offset_comp.output_format)
+    tc_cfg = sense.temperature_comp.config
+    q_tc = scalar_quantizer(sense.temperature_comp.output_format)
+    tcomp_off = np.zeros(n)
+    for i, c in enumerate(tc_cfg.offset_poly):
+        tcomp_off = tcomp_off + c * dtm ** i
+    tcomp_sens = np.zeros(n)
+    for i, c in enumerate(tc_cfg.sensitivity_poly):
+        tcomp_sens = tcomp_sens + c * dtm ** (i + 1)
+    tcomp_sens = 1.0 + tcomp_sens
+    if np.any(tcomp_sens == 0.0):
+        raise ConfigurationError("sensitivity correction factor reached zero")
+    tcomp_off = tcomp_off.tolist()
+    tcomp_sens = tcomp_sens.tolist()
+    scale_dps = sense.scaler.config.scale_dps_per_unit
+    full_scale = sense.scaler.config.full_scale_dps
+    q_scaler = scalar_quantizer(sense.scaler.output_format)
+
+    closed = conditioner.config.closed_loop
+    reb_cfg = rebalance.config
+    reb_alpha = rebalance._demod._filter.alpha
+    reb_kp = reb_cfg.kp
+    reb_ki = reb_cfg.ki
+    reb_limit = reb_cfg.max_command
+
+    st_cfg = startup.config
+    wd_samples = st_cfg.watchdog_time_s * st_cfg.sample_rate_hz
+    settle_samples = st_cfg.settling_time_s * st_cfg.sample_rate_hz
+    ST_POWER_ON = StartupState.POWER_ON.value
+    ST_SPINUP = StartupState.DRIVE_SPINUP.value
+    ST_LOCKED = StartupState.PLL_LOCKED.value
+    ST_SETTLING = StartupState.OUTPUT_SETTLING.value
+    ST_RUNNING = StartupState.RUNNING.value
+
+    rate_l = rate_arr.tolist()
+    temp_l = temp_arr.tolist()
+
+    # ---- mutable state loaded into locals ---------------------------------
+    x, xv = sensor.primary._displacement, sensor.primary._velocity
+    y, yv = sensor.secondary._displacement, sensor.secondary._velocity
+    (pa11, pa12, pa21, pa22, pb1, pb2) = events[0][1]["pa"]
+    (sa11, sa12, sa21, sa22, sb1, sb2) = events[0][1]["sa"]
+    pick_gain = events[0][1]["pickoff_gain"]
+    offset_rate = events[0][1]["offset_rate_dps"]
+    res_hz = events[0][1]["primary_res_hz"]
+    ev_idx = 1
+    next_ev = ev_starts[1] if len(ev_starts) > 1 else -1
+
+    pga_p_state = pga_p._state
+    pga_s_state = pga_s._state
+    aa_p1 = frontend.primary_antialias._first._state
+    aa_p2 = frontend.primary_antialias._second._state
+    aa_s1 = frontend.secondary_antialias._first._state
+    aa_s2 = frontend.secondary_antialias._second._state
+    overload = frontend._overload
+
+    pd_state = pll._pd_filter._state
+    amp_state = pll._amp_filter._state
+    pll_integ = pll._integrator
+    phase_err = pll._phase_error
+    amplitude = pll._amplitude
+    lock_counter = pll._lock_counter
+    locked = pll._locked
+    sin_ref = pll._sin_ref
+    cos_ref = pll._cos_ref
+    nco_phase = nco._phase
+    tuning = nco._tuning_hz
+    agc_integ = agc._integrator
+    agc_gain = agc._gain
+    agc_err = agc._error
+
+    di_state = sense.demodulator.in_phase._filter._state
+    dq_state = sense.demodulator.quadrature._filter._state
+    rate_channel = sense._rate_channel
+    quad_channel = sense._quadrature_channel
+    rate_dps_val = sense._rate_dps
+    rate_word = sense._rate_word
+
+    reb_state = rebalance._demod._filter._state
+    reb_integ = rebalance._integrator
+    reb_cmd = rebalance._command
+    reb_residual = rebalance._residual
+
+    st_state = startup._state.value
+    st_count = startup._sample_count
+    st_settle = startup._settle_counter
+    st_ready = startup._ready_sample
+    st_failed = startup._failed
+
+    drive_v = platform._drive_v
+    control_v = platform._control_v
+    drive_word = drive_loop._drive_word
+    control_word = conditioner._control_word
+
+    # ---- recording buffers -------------------------------------------------
+    time_tr = np.zeros(n_rec)
+    rate_tr = np.zeros(n_rec)
+    temp_tr = np.zeros(n_rec)
+    out_dps_tr = np.zeros(n_rec)
+    out_v_tr = np.zeros(n_rec)
+    agc_tr = np.zeros(n_rec)
+    agc_err_tr = np.zeros(n_rec)
+    perr_tr = np.zeros(n_rec)
+    vco_tr = np.zeros(n_rec)
+    lock_tr = np.zeros(n_rec, dtype=bool)
+    run_tr = np.zeros(n_rec, dtype=bool)
+    pick_tr = np.zeros(n_rec) if record_waveforms else None
+    drive_tr = np.zeros(n_rec) if record_waveforms else None
+    rec = 0
+
+    floor = math.floor
+    sin = math.sin
+    cos = math.cos
+    m_pi = math.pi
+    np_pi = np.pi
+
+    # ---- the fused loop ----------------------------------------------------
+    for i in range(n):
+        rate = rate_l[i]
+
+        # MEMS sensor (exact ZOH resonator modes + Coriolis coupling)
+        if i == next_ev:
+            ev = events[ev_idx][1]
+            (pa11, pa12, pa21, pa22, pb1, pb2) = ev["pa"]
+            (sa11, sa12, sa21, sa22, sb1, sb2) = ev["sa"]
+            pick_gain = ev["pickoff_gain"]
+            offset_rate = ev["offset_rate_dps"]
+            res_hz = ev["primary_res_hz"]
+            ev_idx += 1
+            next_ev = ev_starts[ev_idx] if ev_idx < len(ev_starts) else -1
+        drive_accel = s_drive_gain * drive_v
+        x_new = pa11 * x + pa12 * xv + pb1 * drive_accel
+        xv = pa21 * x + pa22 * xv + pb2 * drive_accel
+        x = x_new
+        eff = (rate + offset_rate + sens_noise[i]) * m_pi / 180.0
+        coriolis = kc * eff * xv
+        quad = kq * x * 2.0 * np_pi * res_hz
+        sacc = coriolis + quad + s_control_gain * control_v
+        y_new = sa11 * y + sa12 * yv + sb1 * sacc
+        yv = sa21 * y + sa22 * yv + sb2 * sacc
+        y = y_new
+
+        # AFE acquisition: charge amp -> PGA -> anti-alias -> SAR ADC
+        out = pick_gain * x * ca_gain + ca_off[i] + ca_p_noise[i]
+        p1 = -ca_rail if out < -ca_rail else (ca_rail if out > ca_rail else out)
+        ideal = (p1 + trim_p + pga_p_off[i] + pga_p_noise[i]) * pga_p_gain
+        pga_p_state = pga_p_state + pga_p_alpha * (ideal - pga_p_state)
+        p2 = (-pga_p_rail if pga_p_state < -pga_p_rail
+              else (pga_p_rail if pga_p_state > pga_p_rail else pga_p_state))
+        aa_p1 = aa_p1 + aa_alpha * (p2 - aa_p1)
+        aa_p2 = aa_p2 + aa_alpha * (aa_p1 - aa_p2)
+
+        out = pick_gain * y * ca_gain + ca_off[i] + ca_s_noise[i]
+        s1 = -ca_rail if out < -ca_rail else (ca_rail if out > ca_rail else out)
+        ideal = (s1 + trim_s + pga_s_off[i] + pga_s_noise[i]) * pga_s_gain
+        pga_s_state = pga_s_state + pga_s_alpha * (ideal - pga_s_state)
+        s2 = (-pga_s_rail if pga_s_state < -pga_s_rail
+              else (pga_s_rail if pga_s_state > pga_s_rail else pga_s_state))
+        aa_s1 = aa_s1 + aa_alpha_s * (s2 - aa_s1)
+        aa_s2 = aa_s2 + aa_alpha_s * (aa_s1 - aa_s2)
+
+        overload = aa_p2 >= ov_thr or -aa_p2 >= ov_thr \
+            or aa_s2 >= ov_thr or -aa_s2 >= ov_thr
+
+        d = aa_p2 * adc_p_gain[i] + adc_p_off[i]
+        if adc_p_kinl:
+            nrm = d / adc_p_vref
+            nrm = -1.0 if nrm < -1.0 else (1.0 if nrm > 1.0 else nrm)
+            d += adc_p_kinl * (1.0 - nrm * nrm)
+        if adc_p_noise is not None:
+            d += adc_p_noise[i]
+        code = floor(d / adc_p_lsb + 0.5)
+        code = adc_p_cmin if code < adc_p_cmin \
+            else (adc_p_cmax if code > adc_p_cmax else code)
+        p_norm = code * adc_p_lsb / adc_p_vref
+
+        d = aa_s2 * adc_s_gain[i] + adc_s_off[i]
+        if adc_s_kinl:
+            nrm = d / adc_s_vref
+            nrm = -1.0 if nrm < -1.0 else (1.0 if nrm > 1.0 else nrm)
+            d += adc_s_kinl * (1.0 - nrm * nrm)
+        if adc_s_noise is not None:
+            d += adc_s_noise[i]
+        code = floor(d / adc_s_lsb + 0.5)
+        code = adc_s_cmin if code < adc_s_cmin \
+            else (adc_s_cmax if code > adc_s_cmax else code)
+        s_norm = code * adc_s_lsb / adc_s_vref
+
+        # drive PLL: phase detector -> PI -> NCO
+        pd_state = pd_state + pd_alpha * (p_norm * cos_ref - pd_state)
+        amp_state = amp_state + amp_alpha * (p_norm * sin_ref - amp_state)
+        amplitude = 2.0 * amp_state
+        if amplitude < 0.0:
+            amplitude = 0.0
+        if amplitude > pll_thr:
+            denom = amplitude if amplitude > pll_thr else pll_thr
+            err = 2.0 * pd_state / denom
+            pll_integ += pll_ki * err
+            if pll_integ > tuning_range:
+                pll_integ = tuning_range
+            elif pll_integ < -tuning_range:
+                pll_integ = -tuning_range
+            tuning = pll_kp * err + pll_integ
+            if tuning > tuning_range:
+                tuning = tuning_range
+            elif tuning < -tuning_range:
+                tuning = -tuning_range
+            phase_err = err
+            if (err if err >= 0.0 else -err) < lock_thr:
+                lock_counter = lock_counter + 1 \
+                    if lock_counter < lock_count else lock_count
+            else:
+                lock_counter = 0
+        else:
+            # free-run at the centre frequency
+            tuning = 0.0
+            phase_err = 0.0
+            lock_counter = 0
+        locked = lock_counter >= lock_count
+        nco_phase = (nco_phase + TWO_PI * (nco_fc + tuning) / nco_fs) % TWO_PI
+        sin_ref = sin(nco_phase)
+        cos_ref = cos(nco_phase)
+        if q_nco is not None:
+            sin_ref = q_nco(sin_ref)
+            cos_ref = q_nco(cos_ref)
+
+        # AGC
+        agc_err = agc_target - amplitude
+        agc_integ += agc_ki * agc_err
+        if agc_integ < agc_min:
+            agc_integ = agc_min
+        elif agc_integ > agc_max:
+            agc_integ = agc_max
+        agc_gain = agc_kp * agc_err + agc_integ
+        if agc_gain < agc_min:
+            agc_gain = agc_min
+        elif agc_gain > agc_max:
+            agc_gain = agc_max
+        if q_agc is not None:
+            agc_gain = q_agc(agc_gain)
+        drive_word = agc_gain * cos_ref
+        if q_drive is not None:
+            drive_word = q_drive(drive_word)
+
+        # sense chain: I/Q demod -> quadrature cancel -> filters -> comp
+        di_state = di_state + demod_alpha * (s_norm * cos_ref - di_state)
+        i_chan = 2.0 * di_state
+        dq_state = dq_state + demod_alpha * (s_norm * sin_ref - dq_state)
+        q_chan = 2.0 * dq_state
+        if q_demod is not None:
+            i_chan = q_demod(i_chan)
+            q_chan = q_demod(q_chan)
+        raw = i_chan - qc_coeff * q_chan
+        if q_qc is not None:
+            raw = q_qc(raw)
+        v = raw
+        for sec in out_secs:
+            yy = sec[0] * v + sec[5]
+            sec[5] = sec[1] * v - sec[3] * yy + sec[6]
+            sec[6] = sec[2] * v - sec[4] * yy
+            if q_out is not None:
+                yy = q_out(yy)
+            v = yy
+        rate_channel = v
+        v = q_chan
+        for sec in quad_secs:
+            yy = sec[0] * v + sec[5]
+            sec[5] = sec[1] * v - sec[3] * yy + sec[6]
+            sec[6] = sec[2] * v - sec[4] * yy
+            if q_quad is not None:
+                yy = q_quad(yy)
+            v = yy
+        quad_channel = v
+        comp = rate_channel - off_comp
+        if q_off is not None:
+            comp = q_off(comp)
+        comp = (comp - tcomp_off[i]) / tcomp_sens[i]
+        if q_tc is not None:
+            comp = q_tc(comp)
+        rate_dps_val = comp * scale_dps
+        word = rate_dps_val / full_scale
+        word = -1.0 if word < -1.0 else (1.0 if word > 1.0 else word)
+        if q_scaler is not None:
+            word = q_scaler(word)
+        rate_word = word
+
+        # force rebalance (closed-loop configuration)
+        if closed:
+            reb_state = reb_state + reb_alpha * (s_norm * cos_ref - reb_state)
+            reb_residual = 2.0 * reb_state
+            reb_integ += reb_ki * reb_residual
+            if reb_integ > reb_limit:
+                reb_integ = reb_limit
+            elif reb_integ < -reb_limit:
+                reb_integ = -reb_limit
+            reb_cmd = reb_kp * reb_residual + reb_integ
+            if reb_cmd > reb_limit:
+                reb_cmd = reb_limit
+            elif reb_cmd < -reb_limit:
+                reb_cmd = -reb_limit
+            control_word = -reb_cmd * cos_ref
+            out_dps = reb_cmd * scale_dps
+            out_word = out_dps / full_scale
+            out_word = -1.0 if out_word < -1.0 \
+                else (1.0 if out_word > 1.0 else out_word)
+            if q_scaler is not None:
+                out_word = q_scaler(out_word)
+        else:
+            control_word = 0.0
+            out_dps = rate_dps_val
+            out_word = rate_word
+
+        # start-up sequencer
+        st_count += 1
+        just_failed = False
+        if st_state != ST_RUNNING and not st_failed:
+            if st_count > wd_samples:
+                st_failed = True
+                just_failed = True
+        if not just_failed:
+            if st_state == ST_POWER_ON:
+                st_state = ST_SPINUP
+            elif st_state == ST_SPINUP:
+                if locked:
+                    st_state = ST_LOCKED
+            elif st_state == ST_LOCKED:
+                if agc_err < settle_thr and agc_err > -settle_thr:
+                    st_state = ST_SETTLING
+                    st_settle = 0
+                elif not locked:
+                    st_state = ST_SPINUP
+            elif st_state == ST_SETTLING:
+                if locked and (agc_err < settle_thr
+                               and agc_err > -settle_thr):
+                    st_settle += 1
+                else:
+                    st_settle = 0
+                if st_settle >= settle_samples:
+                    st_state = ST_RUNNING
+                    st_ready = st_count
+
+        # drive / control DACs
+        val = -1.0 if drive_word < -1.0 else (1.0 if drive_word > 1.0
+                                              else drive_word)
+        qd = round(val * ddac_vref / ddac_lsb) * ddac_lsb
+        out = qd * ddac_gain[i] + ddac_off[i]
+        drive_v = ddac_min if out < ddac_min \
+            else (ddac_max if out > ddac_max else out)
+        val = -1.0 if control_word < -1.0 else (1.0 if control_word > 1.0
+                                                else control_word)
+        qd = round(val * cdac_vref / cdac_lsb) * cdac_lsb
+        out = qd * cdac_gain[i] + cdac_off[i]
+        control_v = cdac_min if out < cdac_min \
+            else (cdac_max if out > cdac_max else out)
+
+        # trace recording (decimated)
+        if not i % dec:
+            clipped = -1.0 if out_word < -1.0 else (1.0 if out_word > 1.0
+                                                    else out_word)
+            target = (mid + clipped * out_span + trim_out) / rdac_vref
+            val = 0.0 if target < 0.0 else (1.0 if target > 1.0 else target)
+            qd = round(val * rdac_vref / rdac_lsb) * rdac_lsb
+            out = qd * rdac_gain[i] + rdac_off[i]
+            rdac_held = rdac_min if out < rdac_min \
+                else (rdac_max if out > rdac_max else out)
+            time_tr[rec] = start_time + i * dt
+            rate_tr[rec] = rate
+            temp_tr[rec] = temp_l[i]
+            out_dps_tr[rec] = out_dps
+            out_v_tr[rec] = rdac_held
+            agc_tr[rec] = agc_gain
+            agc_err_tr[rec] = agc_err
+            perr_tr[rec] = phase_err
+            vco_tr[rec] = pll_integ
+            lock_tr[rec] = locked
+            run_tr[rec] = st_state == ST_RUNNING
+            if record_waveforms:
+                pick_tr[rec] = p_norm
+                drive_tr[rec] = drive_word
+            rec += 1
+
+    # ---- write all state back into the reference objects -------------------
+    sensor.primary._displacement, sensor.primary._velocity = x, xv
+    sensor.secondary._displacement, sensor.secondary._velocity = y, yv
+
+    pga_p._state = pga_p_state
+    pga_s._state = pga_s_state
+    frontend.primary_antialias._first._state = aa_p1
+    frontend.primary_antialias._second._state = aa_p2
+    frontend.secondary_antialias._first._state = aa_s1
+    frontend.secondary_antialias._second._state = aa_s2
+    frontend._overload = bool(overload)
+    frontend.trim.register("afe_status").hw_write_field(
+        "overload", int(bool(overload)))
+    frontend.drive_dac._held_output = drive_v
+    frontend.control_dac._held_output = control_v
+    if rec:
+        frontend.rate_output_dac._held_output = float(out_v_tr[rec - 1])
+
+    pll._pd_filter._state = pd_state
+    pll._amp_filter._state = amp_state
+    pll._integrator = pll_integ
+    pll._phase_error = phase_err
+    pll._amplitude = amplitude
+    pll._lock_counter = lock_counter
+    pll._locked = locked
+    pll._sin_ref = sin_ref
+    pll._cos_ref = cos_ref
+    nco._phase = nco_phase
+    nco._tuning_hz = tuning
+    agc._integrator = agc_integ
+    agc._gain = agc_gain
+    agc._error = agc_err
+    drive_loop._drive_word = drive_word
+
+    sense.demodulator.in_phase._filter._state = di_state
+    sense.demodulator.quadrature._filter._state = dq_state
+    writeback_biquads(sense.output_filter, out_secs)
+    writeback_biquads(sense.quadrature_filter, quad_secs)
+    sense._rate_channel = rate_channel
+    sense._quadrature_channel = quad_channel
+    sense._rate_dps = rate_dps_val
+    sense._rate_word = rate_word
+
+    rebalance._demod._filter._state = reb_state
+    rebalance._integrator = reb_integ
+    rebalance._command = reb_cmd
+    rebalance._residual = reb_residual
+
+    startup._state = StartupState(st_state)
+    startup._sample_count = st_count
+    startup._settle_counter = st_settle
+    startup._ready_sample = st_ready
+    startup._failed = st_failed
+
+    conditioner._sample_count += n
+    conditioner._control_word = control_word
+    conditioner._refresh_registers()
+
+    platform._drive_v = drive_v
+    platform._control_v = control_v
+    platform._time_s = start_time + n * dt
+
+    return GyroSimulationResult(
+        time_s=time_tr[:rec],
+        sample_rate_hz=fs / dec,
+        true_rate_dps=rate_tr[:rec],
+        temperature_c=temp_tr[:rec],
+        rate_output_dps=out_dps_tr[:rec],
+        rate_output_v=out_v_tr[:rec],
+        amplitude_control=agc_tr[:rec],
+        amplitude_error=agc_err_tr[:rec],
+        phase_error=perr_tr[:rec],
+        vco_control=vco_tr[:rec],
+        pll_locked=lock_tr[:rec],
+        running=run_tr[:rec],
+        primary_pickoff_norm=pick_tr[:rec] if record_waveforms else None,
+        drive_word=drive_tr[:rec] if record_waveforms else None,
+        turn_on_time_s=startup.turn_on_time_s,
+    )

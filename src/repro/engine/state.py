@@ -1,0 +1,202 @@
+"""Shared state/coefficient plumbing for the fast co-simulation engines.
+
+The fused and batched kernels flatten the object-oriented reference
+chain (sensor → AFE → DSP → DACs) into plain locals / NumPy arrays.  The
+helpers here extract the constants the kernels need from the existing
+block objects — so both engines compute with *exactly* the same
+coefficient bits as the reference chain — and provide quantiser closures
+that reproduce :func:`repro.common.fixedpoint.quantize` bit-for-bit on
+scalars and arrays.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, List, Optional, Tuple
+
+import numpy as np
+
+from ..common.exceptions import ConfigurationError, FixedPointOverflowError
+from ..common.fixedpoint import QFormat
+
+
+def scalar_quantizer(fmt: Optional[QFormat]) -> Optional[Callable[[float], float]]:
+    """Fast scalar equivalent of ``quantize(x, fmt)`` (bit-exact).
+
+    Returns ``None`` when ``fmt`` is ``None`` so the kernels can skip the
+    call entirely in floating-point mode.
+    """
+    if fmt is None:
+        return None
+    lsb = fmt.lsb
+    lo = fmt.min_value / lsb
+    hi = fmt.max_value / lsb
+    rounding = fmt.rounding
+    overflow = fmt.overflow
+    floor = math.floor
+    trunc = math.trunc
+    span = hi - lo + 1
+
+    def q(x: float) -> float:
+        scaled = x / lsb
+        if rounding == "nearest":
+            r = floor(scaled + 0.5)
+        elif rounding == "floor":
+            r = floor(scaled)
+        else:  # truncate
+            r = trunc(scaled)
+        if overflow == "saturate":
+            r = lo if r < lo else (hi if r > hi else r)
+        elif overflow == "wrap":
+            r = ((r - lo) % span) + lo
+        elif r > hi or r < lo:
+            raise FixedPointOverflowError(
+                f"value {x!r} out of range for {fmt.describe()}")
+        return r * lsb
+
+    return q
+
+
+def array_quantizer(fmt: Optional[QFormat]
+                    ) -> Optional[Callable[[np.ndarray], np.ndarray]]:
+    """Vectorised equivalent of ``quantize(x, fmt)`` (bit-exact)."""
+    if fmt is None:
+        return None
+    lsb = fmt.lsb
+    lo = fmt.min_value / lsb
+    hi = fmt.max_value / lsb
+    rounding = fmt.rounding
+    overflow = fmt.overflow
+    span = hi - lo + 1
+
+    def q(x: np.ndarray) -> np.ndarray:
+        scaled = x / lsb
+        if rounding == "nearest":
+            r = np.floor(scaled + 0.5)
+        elif rounding == "floor":
+            r = np.floor(scaled)
+        else:
+            r = np.trunc(scaled)
+        if overflow == "saturate":
+            r = np.clip(r, lo, hi)
+        elif overflow == "wrap":
+            r = ((r - lo) % span) + lo
+        elif np.any(r > hi) or np.any(r < lo):
+            raise FixedPointOverflowError(
+                f"value out of range for {fmt.describe()}")
+        return r * lsb
+
+    return q
+
+
+def sensor_temperature_plan(sensor, temp_arr: np.ndarray
+                            ) -> List[Tuple[int, dict]]:
+    """Plan the sensor's temperature-dependent coefficient updates.
+
+    Replays the per-sample ``_apply_temperature`` hysteresis (recompute
+    only when the temperature moved by >= 0.05 °C since the last applied
+    value) over the whole temperature trace up front.  Returns a list of
+    ``(sample_index, coefficients)`` events; the sensor object is mutated
+    exactly as the reference loop would have left it (propagators retuned
+    at each event, ``_temperature_c`` at the final trace value).
+
+    Because the retune happens eagerly, an exception raised later in a
+    fused/batched run (e.g. a fixed-point ``overflow="error"`` format
+    tripping mid-loop) leaves the sensor's temperature state ahead of
+    the sample where the run aborted; treat the platform as needing a
+    ``reset()`` after an engine error, as with any half-completed run.
+
+    The first entry always describes the coefficients valid from sample
+    0, whether or not sample 0 triggers a recompute.
+    """
+
+    def snapshot() -> dict:
+        p = sensor.primary
+        s = sensor.secondary
+        return {
+            "pa": (p._a11, p._a12, p._a21, p._a22, p._b1, p._b2),
+            "sa": (s._a11, s._a12, s._a21, s._a22, s._b1, s._b2),
+            "pickoff_gain": sensor._pickoff_gain,
+            "offset_rate_dps": sensor._offset_rate_dps,
+            "primary_res_hz": p.resonance_hz,
+        }
+
+    temps = temp_arr.tolist()
+    last = sensor._last_temp_applied
+    events: List[Tuple[int, dict]] = []
+    if last is not None and temp_arr.size:
+        tmin = float(np.min(temp_arr))
+        tmax = float(np.max(temp_arr))
+        if abs(tmin - last) < 0.05 and abs(tmax - last) < 0.05:
+            # the whole run stays inside the hysteresis band: no retune
+            sensor._temperature_c = temps[-1]
+            return [(0, snapshot())]
+    initial = snapshot()
+    for i, temp in enumerate(temps):
+        if last is None or abs(temp - last) >= 0.05:
+            sensor._apply_temperature(temp)
+            last = temp
+            events.append((i, snapshot()))
+    if not events or events[0][0] != 0:
+        # samples before the first recompute use the pre-run coefficients
+        events.insert(0, (0, initial))
+    if temps:
+        sensor._temperature_c = temps[-1]
+    return events
+
+
+def biquad_sections(iir_filter) -> List[List[float]]:
+    """Extract ``[b0, b1, b2, a1, a2, z1, z2]`` rows from an IirFilter."""
+    rows = []
+    for section in iir_filter.sections:
+        rows.append([section.b[0], section.b[1], section.b[2],
+                     section.a[1], section.a[2], section._z1, section._z2])
+    return rows
+
+
+def writeback_biquads(iir_filter, rows: List[List[float]]) -> None:
+    """Push kernel biquad states back into the IirFilter sections."""
+    for section, row in zip(iir_filter.sections, rows):
+        section._z1 = float(row[5])
+        section._z2 = float(row[6])
+
+
+def check_fleet_compatible(platforms) -> None:
+    """Validate that a set of platforms can run in NumPy lockstep.
+
+    Per-lane *values* (gains, seeds, noise levels, sensor parameters,
+    startup timings...) may differ freely; what must match is the
+    *structure*: sample rate, record decimation, loop topology, filter
+    section counts and fixed-point formats, because those decide the
+    shape of the vectorised state.
+    """
+    if not platforms:
+        raise ConfigurationError("fleet needs at least one platform")
+    ref = platforms[0]
+    rc = ref.config
+    for p in platforms[1:]:
+        c = p.config
+        if c.sample_rate_hz != rc.sample_rate_hz:
+            raise ConfigurationError("fleet lanes must share the sample rate")
+        if c.record_decimation != rc.record_decimation:
+            raise ConfigurationError("fleet lanes must share record_decimation")
+        if c.conditioner.closed_loop != rc.conditioner.closed_loop:
+            raise ConfigurationError("fleet lanes must share the loop topology")
+        if c.conditioner.fixed_point != rc.conditioner.fixed_point:
+            raise ConfigurationError("fleet lanes must share the datapath mode")
+        for fmt_a, fmt_b in (
+                (c.conditioner.drive.output_format, rc.conditioner.drive.output_format),
+                (c.conditioner.sense.output_format, rc.conditioner.sense.output_format),
+                (c.conditioner.drive.pll.output_format,
+                 rc.conditioner.drive.pll.output_format),
+                (c.conditioner.drive.agc.output_format,
+                 rc.conditioner.drive.agc.output_format)):
+            if fmt_a != fmt_b:
+                raise ConfigurationError("fleet lanes must share fixed-point formats")
+        if (len(p.conditioner.sense_chain.output_filter.sections)
+                != len(ref.conditioner.sense_chain.output_filter.sections)):
+            raise ConfigurationError("fleet lanes must share the output filter order")
+        if (len(p.conditioner.sense_chain.quadrature_filter.sections)
+                != len(ref.conditioner.sense_chain.quadrature_filter.sections)):
+            raise ConfigurationError(
+                "fleet lanes must share the quadrature filter order")

@@ -17,6 +17,7 @@ from dataclasses import dataclass
 from typing import Optional, Tuple
 
 import numpy as np
+from scipy import signal as sps
 
 from ..common.analysis import linear_fit, nonlinearity_percent_fs
 from ..common.exceptions import ConfigurationError
@@ -130,19 +131,25 @@ class BaselineGyroDevice:
 
     def simulate(self, rate_dps: float, duration_s: float,
                  temperature_c: float = ROOM_TEMPERATURE_C) -> np.ndarray:
-        """Simulate the sampled output for a constant applied rate."""
+        """Simulate the sampled output for a constant applied rate.
+
+        The single-pole output filter is applied as one vectorised
+        ``lfilter`` pass (``y[i] = alpha*u[i] + (1-alpha)*y[i-1]``) with
+        the held output as initial condition, instead of a per-sample
+        Python loop.
+        """
         n = int(duration_s * self.sample_rate_hz)
+        if n == 0:
+            return np.zeros(0)
         noise_sigma = (self.spec.noise_density_dps_rthz
                        * self._sensitivity(temperature_c)
                        * np.sqrt(self.sample_rate_hz / 2.0))
         target = self.ideal_output(rate_dps, temperature_c)
         noise = self._rng.normal(0.0, noise_sigma, n) if noise_sigma else np.zeros(n)
-        out = np.zeros(n)
-        state = self._state_v
-        for i in range(n):
-            state += self._alpha * (target + noise[i] - state)
-            out[i] = state
-        self._state_v = state
+        beta = 1.0 - self._alpha
+        out, _ = sps.lfilter([self._alpha], [1.0, -beta], target + noise,
+                             zi=np.array([beta * self._state_v]))
+        self._state_v = float(out[-1])
         return np.clip(out, 0.0, self.spec.supply_v)
 
     def reset(self) -> None:

@@ -33,10 +33,14 @@ from .dse import (
     DesignPoint,
     DseConfig,
     EvaluatedPoint,
+    SimulatedPoint,
     evaluate_point,
     explore,
     pareto_front,
+    platform_config_for_point,
     recommend,
+    simulate_point,
+    validate_with_simulation,
 )
 
 __all__ = [
@@ -64,8 +68,12 @@ __all__ = [
     "DesignPoint",
     "DseConfig",
     "EvaluatedPoint",
+    "SimulatedPoint",
     "evaluate_point",
     "explore",
     "pareto_front",
+    "platform_config_for_point",
     "recommend",
+    "simulate_point",
+    "validate_with_simulation",
 ]

@@ -13,7 +13,7 @@ This is the object the evaluation harness and the benchmarks drive.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -55,6 +55,10 @@ class GyroPlatformConfig:
         conditioner: digital conditioning chain configuration.
         temperature_sensor: on-chip temperature sensor model.
         record_decimation: trace recording decimation factor.
+        engine: default simulation engine — ``"fused"`` (flattened
+            single-function kernel, the fast default) or ``"reference"``
+            (the original object-oriented per-sample loop).  Both produce
+            bit-identical traces; see ``repro.engine``.
     """
 
     sample_rate_hz: float = 120_000.0
@@ -64,12 +68,16 @@ class GyroPlatformConfig:
     temperature_sensor: TemperatureSensorConfig = field(
         default_factory=TemperatureSensorConfig)
     record_decimation: int = 16
+    engine: str = "fused"
 
     def __post_init__(self) -> None:
         if self.sample_rate_hz <= 0:
             raise ConfigurationError("sample rate must be > 0")
         if self.record_decimation < 1:
             raise ConfigurationError("record decimation must be >= 1")
+        if self.engine not in ("fused", "reference"):
+            raise ConfigurationError(
+                f"engine must be 'fused' or 'reference', got {self.engine!r}")
         # keep every section on the same time base
         self.frontend.sample_rate_hz = self.sample_rate_hz
         self.conditioner.drive.pll.sample_rate_hz = self.sample_rate_hz
@@ -143,8 +151,8 @@ class GyroPlatform:
     # -- co-simulation -----------------------------------------------------------
 
     def run(self, environment: Environment, duration_s: float,
-            reset: bool = False, record_waveforms: bool = False
-            ) -> GyroSimulationResult:
+            reset: bool = False, record_waveforms: bool = False,
+            engine: Optional[str] = None) -> GyroSimulationResult:
         """Run the co-simulation for ``duration_s`` seconds.
 
         Args:
@@ -155,14 +163,24 @@ class GyroPlatform:
             record_waveforms: additionally record the primary pick-off and
                 drive-word waveforms (memory-hungry; used by the figure
                 benches).
+            engine: override the configured simulation engine for this
+                run (``"fused"`` or ``"reference"``); both produce
+                bit-identical traces and platform state.
 
         Returns:
             A :class:`GyroSimulationResult` with the recorded traces.
         """
         if duration_s <= 0:
             raise SimulationError("duration must be > 0")
+        engine = engine or self.config.engine
+        if engine not in ("fused", "reference"):
+            raise ConfigurationError(
+                f"engine must be 'fused' or 'reference', got {engine!r}")
         if reset:
             self.reset()
+        if engine == "fused":
+            from ..engine.fused import run_fused
+            return run_fused(self, environment, duration_s, record_waveforms)
         cfg = self.config
         fs = cfg.sample_rate_hz
         dt = 1.0 / fs
@@ -248,6 +266,35 @@ class GyroPlatform:
             drive_word=drive_tr[:rec] if record_waveforms else None,
             turn_on_time_s=conditioner.startup.turn_on_time_s,
         )
+
+    def run_batch(self, environments: Sequence[Environment],
+                  duration_s: float, reset: bool = False,
+                  record_waveforms: bool = False
+                  ) -> "List[GyroSimulationResult]":
+        """Simulate one scenario per environment in NumPy lockstep.
+
+        Deep-copies this platform into one independent clone per
+        environment — calibration words, filter states, start-up
+        progress and noise-generator positions included — and steps the
+        clones together through the batched engine, amortising the
+        Python interpreter cost across the whole fleet.  Returns one
+        :class:`GyroSimulationResult` per environment, each bit-identical
+        to what this platform would have produced running that scenario
+        alone with the reference (or fused) engine.  This platform
+        itself is not advanced; pass ``reset=True`` to power-cycle the
+        clones instead of continuing from the current state.
+
+        Use :class:`repro.engine.FleetSimulator` directly for
+        heterogeneous fleets (per-device mismatch, Monte Carlo runs) or
+        to keep the lane platforms around between runs.
+        """
+        import copy
+
+        from ..engine.batch import FleetSimulator
+        fleet = FleetSimulator([copy.deepcopy(self)
+                                for _ in range(len(environments))])
+        return fleet.run(environments, duration_s, reset=reset,
+                         record_waveforms=record_waveforms)
 
     # -- start-up and calibration -------------------------------------------------
 

@@ -87,7 +87,11 @@ class RampProfile(Profile):
     def sample(self, t: np.ndarray) -> np.ndarray:
         t = np.asarray(t, dtype=np.float64)
         frac = np.clip((t - self.t0) / (self.t1 - self.t0), 0.0, 1.0)
-        return self.start + frac * (self.stop - self.start)
+        ramp = self.start + frac * (self.stop - self.start)
+        # pin the plateaus to the exact endpoint values so the vectorised
+        # evaluation agrees bit-for-bit with the scalar value() branches
+        return np.where(t <= self.t0, self.start,
+                        np.where(t >= self.t1, self.stop, ramp))
 
 
 @dataclass
@@ -142,6 +146,14 @@ class PiecewiseProfile(Profile):
                 break
         return current
 
+    def sample(self, t: np.ndarray) -> np.ndarray:
+        t = np.asarray(t, dtype=np.float64)
+        times = np.array([bp[0] for bp in self.breakpoints])
+        values = np.array([bp[1] for bp in self.breakpoints])
+        idx = np.searchsorted(times, t, side="right") - 1
+        # before the first breakpoint the first value applies
+        return values[np.maximum(idx, 0)]
+
 
 @dataclass
 class Environment:
@@ -159,6 +171,18 @@ class Environment:
     def at(self, t: float) -> Tuple[float, float]:
         """Return ``(rate_dps, temperature_c)`` at time ``t``."""
         return self.rate_dps.value(t), self.temperature_c.value(t)
+
+    def sample(self, t: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """Vectorised evaluation: ``(rate_dps, temperature_c)`` arrays.
+
+        Evaluates both profiles over an array of time stamps in one call.
+        The engine's fused/batched simulation paths use this instead of
+        per-sample :meth:`Profile.value` calls; every built-in profile
+        guarantees ``sample(t)[i] == value(t[i])`` bit-for-bit.
+        """
+        t = np.asarray(t, dtype=np.float64)
+        return (np.asarray(self.rate_dps.sample(t), dtype=np.float64),
+                np.asarray(self.temperature_c.sample(t), dtype=np.float64))
 
     @classmethod
     def still(cls, temperature_c: float = ROOM_TEMPERATURE_C) -> "Environment":

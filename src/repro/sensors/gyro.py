@@ -28,6 +28,7 @@ from typing import Optional, Tuple
 import numpy as np
 
 from ..common.exceptions import ConfigurationError
+from ..common.noise import BufferedGaussianNoise
 from ..common.units import ROOM_TEMPERATURE_C, dps_to_rps
 from .resonator import ResonatorMode
 
@@ -131,12 +132,11 @@ class VibratingRingGyro:
                                      params.primary_q, self._dt)
         self.secondary = ResonatorMode(params.secondary_resonance_hz,
                                        params.secondary_q, self._dt)
-        self._rng = np.random.default_rng(params.noise_seed)
         # Brownian noise is injected as an equivalent-rate white sequence.
         self._rate_noise_sigma = (params.rate_noise_density_dps_rthz
                                   * np.sqrt(self.sample_rate_hz / 2.0))
-        self._noise_buffer = np.zeros(0)
-        self._noise_index = 0
+        self._noise = BufferedGaussianNoise(self._rate_noise_sigma,
+                                            params.noise_seed)
         self._temperature_c = ROOM_TEMPERATURE_C
         self._last_temp_applied = None
         self._apply_temperature(ROOM_TEMPERATURE_C)
@@ -172,20 +172,14 @@ class VibratingRingGyro:
 
     def _next_noise(self) -> float:
         """Draw the next Brownian-noise sample from a pre-generated block."""
-        if self._noise_index >= self._noise_buffer.size:
-            self._noise_buffer = self._rng.normal(0.0, self._rate_noise_sigma, 4096)
-            self._noise_index = 0
-        value = self._noise_buffer[self._noise_index]
-        self._noise_index += 1
-        return float(value)
+        return self._noise.next()
 
     def reset(self) -> None:
         """Return the mechanical element to rest and re-seed the noise."""
         self.primary.reset()
         self.secondary.reset()
-        self._rng = np.random.default_rng(self.params.noise_seed)
-        self._noise_buffer = np.zeros(0)
-        self._noise_index = 0
+        self._noise = BufferedGaussianNoise(self._rate_noise_sigma,
+                                            self.params.noise_seed)
         self._last_temp_applied = None
         self._apply_temperature(ROOM_TEMPERATURE_C)
 

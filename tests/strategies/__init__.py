@@ -1,0 +1,1 @@
+"""Shared Hypothesis strategies and settings profiles for the test suite."""

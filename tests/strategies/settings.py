@@ -1,0 +1,21 @@
+"""Standardised Hypothesis settings profiles for property tests.
+
+One place to tune how hard the property tests work, instead of ad-hoc
+``max_examples`` numbers scattered through the suite:
+
+* ``DETERMINISM_SETTINGS`` — cheap, pure-arithmetic properties
+  (round-trips, congruences) where examples are nearly free.
+* ``STANDARD_SETTINGS`` — the default for ordinary properties.
+* ``SLOW_SETTINGS`` — properties that build objects or small arrays.
+* ``QUICK_SETTINGS`` — properties wrapping expensive simulation steps.
+
+``deadline=None`` everywhere: the suite runs under load in CI and a
+per-example wall-clock deadline only produces flaky failures.
+"""
+
+from hypothesis import settings
+
+DETERMINISM_SETTINGS = settings(max_examples=500, deadline=None)
+STANDARD_SETTINGS = settings(max_examples=100, deadline=None)
+SLOW_SETTINGS = settings(max_examples=50, deadline=None)
+QUICK_SETTINGS = settings(max_examples=20, deadline=None)

@@ -1,9 +1,13 @@
 """Unit and property tests for repro.common.fixedpoint."""
 
+import math
+
 import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
+
+from strategies.settings import DETERMINISM_SETTINGS, STANDARD_SETTINGS
 
 from repro.common import (
     ConfigurationError,
@@ -170,6 +174,92 @@ class TestQuantize:
         ordered = np.sort(np.asarray(values))
         q = quantize(ordered, fmt)
         assert np.all(np.diff(q) >= -1e-15)
+
+
+class TestFixedPointProperties:
+    """Property tests for the fixed-point corner cases: wrap overflow,
+    raw-code round-trips and idempotence across rounding modes."""
+
+    @DETERMINISM_SETTINGS
+    @given(st.floats(min_value=-64.0, max_value=64.0),
+           st.integers(min_value=0, max_value=3),
+           st.integers(min_value=1, max_value=12),
+           st.sampled_from(("nearest", "floor", "truncate")))
+    def test_wrap_always_lands_in_range(self, value, int_bits, frac_bits,
+                                        rounding):
+        fmt = QFormat(int_bits=int_bits, frac_bits=frac_bits,
+                      rounding=rounding, overflow="wrap")
+        q = quantize(value, fmt)
+        assert fmt.min_value <= q <= fmt.max_value
+
+    @DETERMINISM_SETTINGS
+    @given(st.floats(min_value=-64.0, max_value=64.0),
+           st.integers(min_value=0, max_value=3),
+           st.integers(min_value=1, max_value=12))
+    def test_wrap_is_congruent_modulo_word(self, value, int_bits, frac_bits):
+        # two's-complement wrap: the wrapped code differs from the
+        # unwrapped rounded code by an exact multiple of 2**word_length
+        fmt = QFormat(int_bits=int_bits, frac_bits=frac_bits, overflow="wrap")
+        q = quantize(value, fmt)
+        unwrapped_code = math.floor(value / fmt.lsb + 0.5)
+        wrapped_code = round(q / fmt.lsb)
+        span = 2 ** fmt.word_length
+        assert (unwrapped_code - wrapped_code) % span == 0
+
+    def test_wrap_exact_overflow_boundaries(self):
+        fmt = QFormat(int_bits=1, frac_bits=3, overflow="wrap")
+        # one LSB above max wraps to min; one LSB below min wraps to max
+        assert quantize(fmt.max_value + fmt.lsb, fmt) == fmt.min_value
+        assert quantize(fmt.min_value - fmt.lsb, fmt) == fmt.max_value
+        # a full span away maps back onto itself
+        span = fmt.range_span + fmt.lsb
+        assert quantize(0.25 + span, fmt) == 0.25
+
+    @DETERMINISM_SETTINGS
+    @given(st.floats(min_value=-1e4, max_value=1e4),
+           st.integers(min_value=0, max_value=4),
+           st.integers(min_value=1, max_value=20),
+           st.booleans())
+    def test_to_raw_from_raw_round_trip(self, value, int_bits, frac_bits,
+                                        signed):
+        if int_bits + frac_bits == 0:
+            return
+        fmt = QFormat(int_bits=int_bits, frac_bits=frac_bits, signed=signed)
+        raw = fmt.to_raw(value)
+        assert isinstance(raw, int)
+        # the raw code is exactly the quantised value in LSB units
+        assert fmt.from_raw(raw) == quantize(value, fmt)
+        # re-encoding a decoded value is the identity on raw codes
+        assert fmt.to_raw(fmt.from_raw(raw)) == raw
+
+    @DETERMINISM_SETTINGS
+    @given(st.integers(min_value=-(2 ** 15), max_value=2 ** 15 - 1))
+    def test_from_raw_covers_every_code(self, code):
+        fmt = QFormat(int_bits=1, frac_bits=14)
+        value = fmt.from_raw(code)
+        assert fmt.min_value <= value <= fmt.max_value
+        assert fmt.to_raw(value) == code
+
+    @STANDARD_SETTINGS
+    @given(st.lists(st.floats(min_value=-10.0, max_value=10.0),
+                    min_size=1, max_size=32))
+    def test_to_raw_array_matches_scalar(self, values):
+        fmt = QFormat(int_bits=2, frac_bits=9)
+        arr = np.asarray(values)
+        raw = fmt.to_raw(arr)
+        assert raw.dtype == np.int64
+        assert list(raw) == [fmt.to_raw(float(v)) for v in values]
+        np.testing.assert_array_equal(fmt.from_raw(raw), quantize(arr, fmt))
+
+    @DETERMINISM_SETTINGS
+    @given(st.floats(min_value=-100.0, max_value=100.0),
+           st.sampled_from(("nearest", "floor", "truncate")),
+           st.sampled_from(("saturate", "wrap")))
+    def test_idempotent_across_modes(self, value, rounding, overflow):
+        fmt = QFormat(int_bits=2, frac_bits=8, rounding=rounding,
+                      overflow=overflow)
+        once = quantize(value, fmt)
+        assert quantize(once, fmt) == once
 
 
 class TestFixedPointValue:

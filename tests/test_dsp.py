@@ -365,6 +365,48 @@ class TestDecimators:
         high = cic.process(np.sin(2 * np.pi * 30000.0 * t))
         assert np.std(low[10:]) > 5 * np.std(high[10:])
 
+    def test_cic_process_matches_step(self):
+        # the vectorised process() must reproduce the scalar step() stream
+        # exactly, including across call boundaries at awkward phases
+        rng = np.random.default_rng(3)
+        x = rng.normal(0.0, 1.0, 1001)
+        a = CicDecimator(decimation=8, order=3)
+        b = CicDecimator(decimation=8, order=3)
+        scalar = [y for y in (a.step(float(v)) for v in x) if y is not None]
+        chunks = [b.process(x[:5]), b.process(x[5:700]), b.process(x[700:])]
+        vectorised = np.concatenate(chunks)
+        np.testing.assert_array_equal(vectorised, np.asarray(scalar))
+        assert a._integrators == b._integrators
+        assert a._combs == b._combs
+        assert a._phase == b._phase
+
+    def test_cic_process_matches_step_quantised(self):
+        rng = np.random.default_rng(4)
+        x = rng.normal(0.0, 0.3, 257)
+        fmt = QFormat(int_bits=1, frac_bits=10)
+        a = CicDecimator(decimation=4, order=2, output_format=fmt)
+        b = CicDecimator(decimation=4, order=2, output_format=fmt)
+        scalar = [y for y in (a.step(float(v)) for v in x) if y is not None]
+        np.testing.assert_array_equal(b.process(x), np.asarray(scalar))
+
+    def test_cic_process_interleaves_with_step(self):
+        a = CicDecimator(decimation=4, order=2)
+        b = CicDecimator(decimation=4, order=2)
+        x = np.arange(40, dtype=np.float64)
+        scalar = [y for y in (a.step(float(v)) for v in x) if y is not None]
+        mixed = list(b.process(x[:6]))
+        mixed += [y for y in (b.step(float(v)) for v in x[6:13])
+                  if y is not None]
+        mixed += list(b.process(x[13:]))
+        np.testing.assert_array_equal(np.asarray(mixed), np.asarray(scalar))
+
+    def test_cic_process_empty(self):
+        cic = CicDecimator(decimation=4, order=2)
+        assert cic.process(np.zeros(0)).size == 0
+        # fewer samples than needed to reach the next emission
+        assert cic.process(np.ones(2)).size == 0
+        assert cic._phase == 2
+
     def test_cic_validation(self):
         with pytest.raises(ConfigurationError):
             CicDecimator(0)
@@ -478,6 +520,24 @@ class TestDigitalPll:
             # drive reference by 90 deg when on frequency
             pll.step(0.5 * math.sin(w * i / FS))
         assert pll.frequency_hz == pytest.approx(f_tone, abs=20.0)
+
+    def test_freerun_drops_stale_tuning_word(self):
+        # regression: after losing the input signal the NCO must actually
+        # free-run at the centre frequency — a stale tuning word used to
+        # keep it at the last tracked frequency
+        cfg = PllConfig(sample_rate_hz=FS, kp=40.0, ki=0.02)
+        pll = DigitalPll(cfg)
+        w = 2 * math.pi * 15080.0
+        for i in range(int(FS * 0.2)):
+            pll.step(0.5 * math.sin(w * i / FS))
+        assert pll.nco.tuning_hz != 0.0  # the loop pulled the NCO
+        # signal disappears: amplitude estimate decays below threshold
+        for _ in range(int(FS * 0.1)):
+            pll.step(0.0)
+        assert pll.amplitude_estimate < cfg.amplitude_threshold
+        assert pll.nco.tuning_hz == 0.0
+        assert pll.frequency_hz == pytest.approx(cfg.center_frequency_hz)
+        assert not pll.locked
 
     def test_amplitude_estimate_tracks_input(self):
         pll = DigitalPll(PllConfig(sample_rate_hz=FS))

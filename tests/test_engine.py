@@ -1,0 +1,341 @@
+"""Tests for the fast co-simulation engines (``repro.engine``).
+
+The fused scalar kernel and the batched fleet engine both promise
+*bit-identical* traces and final platform state relative to the
+object-oriented reference loop.  These tests hold them to it on short
+runs covering lock-in, temperature ramps, fixed-point (prototype) mode,
+closed-loop rebalance and waveform recording, and check the supporting
+vectorised helpers (``Environment.sample``, ``BufferedGaussianNoise.take``)
+against their scalar counterparts.
+"""
+
+import numpy as np
+import pytest
+
+from repro.common import ConfigurationError
+from repro.common.noise import BufferedGaussianNoise
+from repro.engine import FleetSimulator, run_fused
+from repro.platform import GyroPlatform, GyroPlatformConfig
+from repro.sensors import Environment
+from repro.sensors.environment import (
+    ConstantProfile,
+    PiecewiseProfile,
+    RampProfile,
+    SineProfile,
+    StepProfile,
+)
+
+TRACE_FIELDS = (
+    "time_s", "true_rate_dps", "temperature_c", "rate_output_dps",
+    "rate_output_v", "amplitude_control", "amplitude_error", "phase_error",
+    "vco_control", "pll_locked", "running",
+)
+
+
+def _assert_results_identical(a, b, waveforms=False):
+    for name in TRACE_FIELDS:
+        np.testing.assert_array_equal(getattr(a, name), getattr(b, name),
+                                      err_msg=name)
+    if waveforms:
+        np.testing.assert_array_equal(a.primary_pickoff_norm,
+                                      b.primary_pickoff_norm)
+        np.testing.assert_array_equal(a.drive_word, b.drive_word)
+    assert a.turn_on_time_s == b.turn_on_time_s
+    assert a.sample_rate_hz == b.sample_rate_hz
+
+
+def _assert_platform_state_identical(a, b):
+    assert a.now == b.now
+    assert a._drive_v == b._drive_v
+    assert a._control_v == b._control_v
+    pa, pb = a.conditioner.drive_loop.pll, b.conditioner.drive_loop.pll
+    assert pa.frequency_hz == pb.frequency_hz
+    assert pa.amplitude_estimate == pb.amplitude_estimate
+    assert pa.locked == pb.locked
+    sa, sb = a.conditioner.sense_chain, b.conditioner.sense_chain
+    assert sa.rate_channel == sb.rate_channel
+    assert sa.rate_dps == sb.rate_dps
+    assert a.conditioner.running == b.conditioner.running
+    assert (a.sensor.primary._displacement == b.sensor.primary._displacement)
+    assert (a.sensor.secondary._velocity == b.sensor.secondary._velocity)
+
+
+def _pair(config=None):
+    cfg = config or GyroPlatformConfig()
+    import copy
+    return (GyroPlatform(copy.deepcopy(cfg)), GyroPlatform(copy.deepcopy(cfg)))
+
+
+class TestFusedEquivalence:
+    def test_lockin_traces_bit_identical(self):
+        ref, fus = _pair()
+        env = Environment.still()
+        r_ref = ref.run(env, 0.1, engine="reference")
+        r_fus = fus.run(env, 0.1, engine="fused")
+        _assert_results_identical(r_ref, r_fus)
+        _assert_platform_state_identical(ref, fus)
+
+    def test_rate_and_temperature_ramp(self):
+        # exercises the sensor temperature-retune plan and the
+        # temperature-compensation paths
+        env = Environment(
+            rate_dps=RampProfile(start=-100.0, stop=100.0, t0=0.0, t1=0.06),
+            temperature_c=RampProfile(start=25.0, stop=65.0, t0=0.0, t1=0.06))
+        ref, fus = _pair()
+        r_ref = ref.run(env, 0.08, engine="reference")
+        r_fus = fus.run(env, 0.08, engine="fused")
+        _assert_results_identical(r_ref, r_fus)
+        _assert_platform_state_identical(ref, fus)
+
+    def test_fixed_point_mode(self):
+        cfg = GyroPlatformConfig()
+        cfg.conditioner.fixed_point = True
+        ref, fus = _pair(cfg)
+        env = Environment.constant_rate(50.0)
+        r_ref = ref.run(env, 0.06, engine="reference")
+        r_fus = fus.run(env, 0.06, engine="fused")
+        _assert_results_identical(r_ref, r_fus)
+
+    def test_closed_loop_mode(self):
+        cfg = GyroPlatformConfig()
+        cfg.conditioner.closed_loop = True
+        ref, fus = _pair(cfg)
+        env = Environment.constant_rate(80.0)
+        r_ref = ref.run(env, 0.06, engine="reference")
+        r_fus = fus.run(env, 0.06, engine="fused")
+        _assert_results_identical(r_ref, r_fus)
+        _assert_platform_state_identical(ref, fus)
+
+    def test_waveform_recording(self):
+        ref, fus = _pair()
+        env = Environment.still()
+        r_ref = ref.run(env, 0.04, engine="reference", record_waveforms=True)
+        r_fus = fus.run(env, 0.04, engine="fused", record_waveforms=True)
+        _assert_results_identical(r_ref, r_fus, waveforms=True)
+
+    def test_engines_interleave_on_one_platform(self):
+        # a fused segment must leave the platform exactly where a
+        # reference segment would, so segments can be mixed freely
+        ref, mixed = _pair()
+        env = Environment.rate_step(120.0, step_time=0.03)
+        a = ref.run(env, 0.03, engine="reference")
+        b = ref.run(env, 0.03, engine="reference")
+        c = mixed.run(env, 0.03, engine="fused")
+        d = mixed.run(env, 0.03, engine="reference")
+        _assert_results_identical(a, c)
+        _assert_results_identical(b, d)
+        _assert_platform_state_identical(ref, mixed)
+
+    def test_run_fused_entrypoint_matches_run(self):
+        ref, fus = _pair()
+        env = Environment.still()
+        r1 = ref.run(env, 0.02, engine="fused")
+        r2 = run_fused(fus, env, 0.02)
+        _assert_results_identical(r1, r2)
+
+    def test_bad_engine_rejected(self):
+        platform = GyroPlatform()
+        with pytest.raises(ConfigurationError):
+            platform.run(Environment.still(), 0.01, engine="warp")
+        with pytest.raises(ConfigurationError):
+            GyroPlatformConfig(engine="warp")
+
+    def test_bad_engine_rejected_before_reset(self):
+        # a typo'd engine name must not wipe the platform state even with
+        # reset=True: validation happens before the power cycle
+        platform = GyroPlatform()
+        platform.run(Environment.still(), 0.02)
+        with pytest.raises(ConfigurationError):
+            platform.run(Environment.still(), 0.01, reset=True, engine="fuse")
+        assert platform.now == pytest.approx(0.02)
+
+    def test_run_batch_waveforms_passthrough(self):
+        platform = GyroPlatform()
+        results = platform.run_batch([Environment.still()], 0.02,
+                                     record_waveforms=True)
+        assert results[0].primary_pickoff_norm is not None
+        assert results[0].drive_word is not None
+
+
+class TestLockingScenarioAcceptance:
+    """The ISSUE acceptance run: fused/batched match the reference on
+    lock time, amplitude and rate output for the Fig. 5 locking case."""
+
+    def test_all_engines_agree_on_locking_run(self):
+        env = Environment.still()
+        import copy
+        cfg = GyroPlatformConfig()
+        ref = GyroPlatform(copy.deepcopy(cfg))
+        fus = GyroPlatform(copy.deepcopy(cfg))
+        r_ref = ref.run(env, 0.4, engine="reference", reset=True)
+        r_fus = fus.run(env, 0.4, engine="fused", reset=True)
+        fleet = FleetSimulator.from_config(cfg, 2)
+        r_bat = fleet.run(env, 0.4, reset=True)[0]
+
+        assert r_ref.pll_locked[-1]
+        for other in (r_fus, r_bat):
+            assert abs(other.lock_time_s() - r_ref.lock_time_s()) <= 1e-9
+            assert np.max(np.abs(other.amplitude_control
+                                 - r_ref.amplitude_control)) <= 1e-9
+            assert np.max(np.abs(other.rate_output_dps
+                                 - r_ref.rate_output_dps)) <= 1e-9
+
+
+class TestBatchEquivalence:
+    def test_heterogeneous_lanes_match_reference(self):
+        cfg = GyroPlatformConfig()
+        envs = [Environment.still(),
+                Environment.constant_rate(150.0),
+                Environment(rate_dps=SineProfile(amplitude=80.0,
+                                                 frequency_hz=30.0),
+                            temperature_c=ConstantProfile(40.0))]
+        fleet = FleetSimulator.from_config(cfg, len(envs))
+        batch = fleet.run(envs, 0.06)
+        for env, lane_result, lane_platform in zip(envs, batch,
+                                                   fleet.platforms):
+            import copy
+            ref = GyroPlatform(copy.deepcopy(cfg))
+            r_ref = ref.run(env, 0.06, engine="reference")
+            _assert_results_identical(r_ref, lane_result)
+            _assert_platform_state_identical(ref, lane_platform)
+
+    def test_single_environment_broadcasts(self):
+        fleet = FleetSimulator.from_config(GyroPlatformConfig(), 3)
+        results = fleet.run(Environment.still(), 0.02)
+        assert len(results) == 3
+        _assert_results_identical(results[0], results[1])
+        _assert_results_identical(results[0], results[2])
+
+    def test_run_batch_platform_method(self):
+        platform = GyroPlatform()
+        envs = [Environment.constant_rate(r) for r in (-50.0, 0.0, 50.0)]
+        results = platform.run_batch(envs, 0.02)
+        assert len(results) == len(envs)
+        import copy
+        ref = GyroPlatform(copy.deepcopy(platform.config))
+        r_ref = ref.run(envs[1], 0.02, engine="reference", reset=True)
+        _assert_results_identical(r_ref, results[1])
+
+    @pytest.mark.parametrize("mode", ["fixed_point", "closed_loop"])
+    def test_batch_matches_reference_in_special_modes(self, mode):
+        # the quantised and rebalance branches are reimplemented in the
+        # batch engine; hold them to the reference like the default path
+        import copy
+        cfg = GyroPlatformConfig()
+        setattr(cfg.conditioner, mode, True)
+        env = Environment.constant_rate(60.0)
+        fleet = FleetSimulator.from_config(cfg, 2)
+        batch = fleet.run(env, 0.05)
+        ref = GyroPlatform(copy.deepcopy(cfg))
+        r_ref = ref.run(env, 0.05, engine="reference")
+        _assert_results_identical(r_ref, batch[0])
+        _assert_platform_state_identical(ref, fleet.platforms[0])
+
+    def test_run_batch_continues_from_platform_state(self):
+        # regression: run_batch must carry the platform's calibration and
+        # runtime state into the lanes, not restart from the bare config
+        import copy
+        warm = GyroPlatform()
+        warm.run(Environment.still(), 0.04)  # advance filters, PLL, startup
+        warm.conditioner.sense_chain.calibrate_scale(3.0e-5)
+        dedicated = copy.deepcopy(warm)
+        env = Environment.constant_rate(75.0)
+        batch = warm.run_batch([env, Environment.still()], 0.03)
+        r_ref = dedicated.run(env, 0.03, engine="reference")
+        _assert_results_identical(r_ref, batch[0])
+        # the source platform itself is not advanced by run_batch
+        assert warm.now == pytest.approx(0.04)
+
+    def test_environment_count_mismatch_rejected(self):
+        fleet = FleetSimulator.from_config(GyroPlatformConfig(), 2)
+        with pytest.raises(ConfigurationError):
+            fleet.run([Environment.still()], 0.01)
+
+    def test_waveform_recording(self):
+        cfg = GyroPlatformConfig()
+        fleet = FleetSimulator.from_config(cfg, 2)
+        results = fleet.run(Environment.still(), 0.02, record_waveforms=True)
+        import copy
+        ref = GyroPlatform(copy.deepcopy(cfg))
+        r_ref = ref.run(Environment.still(), 0.02, engine="reference",
+                        record_waveforms=True)
+        _assert_results_identical(r_ref, results[0], waveforms=True)
+
+    def test_incompatible_structures_rejected(self):
+        import copy
+        a = GyroPlatform(GyroPlatformConfig())
+        b = GyroPlatform(GyroPlatformConfig(sample_rate_hz=240_000.0))
+        with pytest.raises(ConfigurationError):
+            FleetSimulator([a, b])
+        cfg_c = copy.deepcopy(a.config)
+        cfg_c.conditioner.closed_loop = True
+        c = GyroPlatform(cfg_c)
+        with pytest.raises(ConfigurationError):
+            FleetSimulator([a, c])
+        with pytest.raises(ConfigurationError):
+            FleetSimulator([])
+
+    def test_monte_carlo_fleet_lanes_differ(self):
+        rng = np.random.default_rng(7)
+        fleet = FleetSimulator.with_part_variation(GyroPlatformConfig(), 3,
+                                                   rng=rng)
+        gains = {p.sensor.params.pickoff_gain_v_per_m
+                 for p in fleet.platforms}
+        assert len(gains) == 3
+        results = fleet.run(Environment.still(), 0.02)
+        assert len(results) == 3
+        # different devices, different traces
+        assert not np.array_equal(results[0].amplitude_control,
+                                  results[1].amplitude_control)
+
+
+class TestVectorisedHelpers:
+    def test_environment_sample_matches_value(self):
+        profiles = [
+            ConstantProfile(3.5),
+            StepProfile(before=0.0, after=20.0, step_time=0.4),
+            RampProfile(start=-5.0, stop=5.0, t0=0.1, t1=0.7),
+            SineProfile(amplitude=10.0, frequency_hz=3.0, offset=1.0),
+            PiecewiseProfile(breakpoints=((0.0, 1.0), (0.3, -2.0),
+                                          (0.6, 4.0))),
+        ]
+        t = np.linspace(-0.1, 1.1, 257)
+        for profile in profiles:
+            sampled = profile.sample(t)
+            scalar = np.array([profile.value(float(ti)) for ti in t])
+            np.testing.assert_array_equal(sampled, scalar, err_msg=repr(profile))
+
+    def test_environment_sample_tuple(self):
+        env = Environment(rate_dps=RampProfile(start=0.0, stop=90.0,
+                                               t0=0.0, t1=1.0),
+                          temperature_c=ConstantProfile(30.0))
+        t = np.linspace(0.0, 1.0, 11)
+        rate, temp = env.sample(t)
+        np.testing.assert_array_equal(
+            rate, [env.rate_dps.value(float(ti)) for ti in t])
+        np.testing.assert_array_equal(temp, np.full(11, 30.0))
+
+    def test_noise_take_matches_next(self):
+        a = BufferedGaussianNoise(sigma=0.3, seed=99, block_size=64)
+        b = BufferedGaussianNoise(sigma=0.3, seed=99, block_size=64)
+        scalar = np.array([a.next() for _ in range(200)])
+        np.testing.assert_array_equal(b.take(200), scalar)
+
+    def test_noise_take_interleaves_with_next(self):
+        a = BufferedGaussianNoise(sigma=1.0, seed=5, block_size=32)
+        b = BufferedGaussianNoise(sigma=1.0, seed=5, block_size=32)
+        scalar = np.array([a.next() for _ in range(100)])
+        mixed = np.concatenate([
+            b.take(10),
+            [b.next() for _ in range(7)],
+            b.take(83),
+        ])
+        np.testing.assert_array_equal(mixed, scalar)
+
+    def test_noise_take_zero_sigma_and_empty(self):
+        g = BufferedGaussianNoise(sigma=0.0, seed=1)
+        np.testing.assert_array_equal(g.take(5), np.zeros(5))
+        g2 = BufferedGaussianNoise(sigma=1.0, seed=1)
+        assert g2.take(0).size == 0
+        with pytest.raises(ConfigurationError):
+            g2.take(-1)

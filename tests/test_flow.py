@@ -266,3 +266,48 @@ class TestDse:
 
     def test_summaries(self):
         assert "gates" in evaluate_point(DesignPoint(12, 16, 4, 50.0)).summary()
+
+
+class TestSimulationBackedDse:
+    def test_platform_config_mapping(self):
+        from repro.flow import platform_config_for_point
+
+        point = DesignPoint(10, 16, 2, 25.0)
+        config = platform_config_for_point(point)
+        assert config.frontend.adc.bits == 10
+        fmt = config.conditioner.sense.output_format
+        assert fmt.word_length == 16
+        assert config.conditioner.drive.output_format == fmt
+        assert config.conditioner.sense.output_filter_order == 2
+        assert config.conditioner.sense.output_bandwidth_hz == 25.0
+
+    def test_word_length_floor_rejected(self):
+        from repro.flow import platform_config_for_point
+
+        with pytest.raises(ConfigurationError):
+            platform_config_for_point(DesignPoint(12, 6, 4, 50.0))
+
+    def test_simulate_point_before_startup_reports_not_started(self):
+        # a window shorter than start-up must be reported honestly, not
+        # as zero noise
+        from repro.flow import simulate_point
+
+        evaluated = evaluate_point(DesignPoint(12, 16, 2, 50.0))
+        simulated = simulate_point(evaluated, duration_s=0.05)
+        assert not simulated.started
+        assert not simulated.responsive
+        assert simulated.turn_on_time_s is None
+        assert np.isnan(simulated.measured_noise_dps_rthz)
+        assert "start-up" in simulated.summary()
+
+    def test_simulated_point_responsive_logic(self):
+        from repro.flow import SimulatedPoint
+
+        evaluated = evaluate_point(DesignPoint(12, 16, 2, 50.0))
+        dead = SimulatedPoint(evaluated, float("nan"), float("nan"), 0.0, 0.4)
+        assert dead.started and not dead.responsive
+        assert "quantisation" in dead.summary()
+        live = SimulatedPoint(evaluated, 0.08, 1.5, -3.8e-5, 0.4)
+        assert live.responsive
+        assert "measured noise" in live.summary()
+        assert live.point is evaluated.point

@@ -5,6 +5,10 @@ import math
 
 import numpy as np
 import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from strategies.settings import DETERMINISM_SETTINGS
 
 from repro.common import ConfigurationError, CalibrationError
 from repro.dsp import PllConfig, AgcConfig, TemperatureCompensationConfig
@@ -285,6 +289,33 @@ class TestGyroConditioner:
         for value in (-1.5, -0.25, 0.0, 0.33, 1.2):
             clipped = max(-2.0, min(2.0 - 1 / 16384, value))
             assert q114_to_float(_to_q114(value)) == pytest.approx(clipped, abs=1e-4)
+
+    @DETERMINISM_SETTINGS
+    @given(st.integers(min_value=0, max_value=0xFFFF))
+    def test_q114_every_word_round_trips(self, word):
+        # decode -> encode is the identity on all 16-bit register words
+        from repro.gyro.conditioning import _to_q114
+        value = q114_to_float(word)
+        assert -2.0 <= value <= 2.0 - 1.0 / 16384.0
+        assert _to_q114(value) == word
+
+    @DETERMINISM_SETTINGS
+    @given(st.floats(min_value=-4.0, max_value=4.0))
+    def test_q114_encode_quantises_and_saturates(self, value):
+        from repro.gyro.conditioning import _to_q114
+        decoded = q114_to_float(_to_q114(value))
+        expected = max(-32768, min(32767, round(value * 16384.0))) / 16384.0
+        assert decoded == expected
+        # quantisation error bounded by half an LSB inside the range
+        if -2.0 < value < 2.0 - 1.0 / 16384.0:
+            assert abs(decoded - value) <= 0.5 / 16384.0
+
+    @DETERMINISM_SETTINGS
+    @given(st.floats(min_value=-2.0, max_value=2.0 - 1.0 / 16384.0))
+    def test_q114_encode_decode_idempotent(self, value):
+        from repro.gyro.conditioning import _to_q114
+        once = q114_to_float(_to_q114(value))
+        assert q114_to_float(_to_q114(once)) == once
 
     def test_step_returns_three_words(self):
         cond = GyroConditioner()
