@@ -1,15 +1,16 @@
-"""Engine performance report: reference vs. fused vs. batched.
+"""Engine performance report: reference vs. fused vs. batched vs. campaign.
 
 Times the three co-simulation paths on the same fixed workload — the
-Fig. 5 drive-loop locking scenario (sensor at rest from power-on) — and
-writes ``BENCH_engine.json`` at the repository root so the perf
-trajectory can be tracked across PRs.
+Fig. 5 drive-loop locking scenario (sensor at rest from power-on) — plus
+the scenario-campaign orchestrator on a rate-table sweep, and writes
+``BENCH_engine.json`` at the repository root so the perf trajectory can
+be tracked across PRs.
 
 Schema: a list of ``{path, samples_per_sec, speedup_vs_reference}``
 records under ``"entries"``.  ``samples_per_sec`` is simulated
-samples per wall-clock second; for the batched path all fleet lanes
-count, so its speedup is the *per-scenario* throughput gain at ``B``
-lanes.
+samples per wall-clock second; for the batched and campaign paths all
+fleet lanes count, so their speedup is the *per-scenario* throughput
+gain at ``B`` lanes.
 
 Run with:  PYTHONPATH=src python benchmarks/perf_report.py [--quick]
 """
@@ -24,6 +25,7 @@ sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
 
 from repro.engine import FleetSimulator                    # noqa: E402
 from repro.platform import GyroPlatform, GyroPlatformConfig  # noqa: E402
+from repro.scenarios import Campaign, rate_table_scenarios  # noqa: E402
 from repro.sensors import Environment                      # noqa: E402
 
 REPO_ROOT = os.path.abspath(os.path.join(os.path.dirname(__file__), ".."))
@@ -57,21 +59,44 @@ def _time_batch(lanes: int, duration_s: float) -> float:
     return best
 
 
+def _time_campaign(lanes: int, duration_s: float) -> float:
+    """Time a rate-table campaign: B settled-output scenarios, one fleet.
+
+    The platform start-up is not timed — the campaign layer is what is
+    being measured: scenario branching, fleet packing and metric
+    extraction on top of the batched engine.
+    """
+    rates = [(-200.0 + 400.0 * i / max(lanes - 1, 1)) for i in range(lanes)]
+    best = float("inf")
+    for _ in range(REPEATS):
+        platform = GyroPlatform(GyroPlatformConfig())
+        platform.start()
+        campaign = Campaign(rate_table_scenarios(rates, settle_s=duration_s),
+                            name="bench-rate-table")
+        start = time.perf_counter()
+        campaign.run(platform, engine="batched")
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
 def build_report(duration_s: float = DURATION_S,
                  lanes: int = BATCH_LANES) -> dict:
-    """Time the three engines and return the report dictionary."""
+    """Time the engines and the campaign layer; return the report dict."""
     fs = GyroPlatformConfig().sample_rate_hz
     n = int(round(duration_s * fs))
 
     t_ref = _time_engine("reference", duration_s)
     t_fused = _time_engine("fused", duration_s)
     t_batch = _time_batch(lanes, duration_s)
+    t_campaign = _time_campaign(lanes, duration_s)
 
     sps_ref = n / t_ref
     entries = []
     for path, sps in (("reference", sps_ref),
                       ("fused", n / t_fused),
-                      (f"batched[B={lanes}]", n * lanes / t_batch)):
+                      (f"batched[B={lanes}]", n * lanes / t_batch),
+                      (f"campaign[rate-table B={lanes}]",
+                       n * lanes / t_campaign)):
         entries.append({
             "path": path,
             "samples_per_sec": round(sps, 1),
@@ -79,7 +104,8 @@ def build_report(duration_s: float = DURATION_S,
         })
     return {
         "scenario": ("fig5 locking run: sensor at rest from power-on, "
-                     f"{duration_s} s @ {fs:.0f} Hz"),
+                     f"{duration_s} s @ {fs:.0f} Hz; campaign entry: "
+                     f"{lanes}-point rate-table sweep of the same length"),
         "samples": n,
         "batch_lanes": lanes,
         "entries": entries,

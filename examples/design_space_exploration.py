@@ -21,7 +21,7 @@ from repro.flow import (
     pareto_front,
     partition,
     recommend,
-    validate_with_simulation,
+    sweep,
 )
 from repro.platform import Domain, GenericSensorPlatform, GyroPlatformConfig
 
@@ -42,15 +42,16 @@ def main() -> None:
     recommended = recommend()
     print("  recommended:", recommended.summary())
 
-    print("\n=== Simulation-backed validation (batched engine) ===")
-    # The analytic models score hundreds of points in milliseconds; the
-    # batched co-simulation engine then validates the short-listed
-    # candidates with the true mixed-signal loop — three rate-table
-    # scenarios per point stepped in NumPy lockstep.  This is where the
-    # models get honest: a datapath the noise model likes can still
-    # quantise the rate channel to nothing.
-    candidates = [recommended, front[-1]]
-    for simulated in validate_with_simulation(candidates):
+    print("\n=== Full simulation-backed DSE sweep (scenario campaigns) ===")
+    # The analytic models score hundreds of points in milliseconds;
+    # sweep() then validates the whole Pareto front with the true
+    # mixed-signal loop — three rate-table scenarios per point, and
+    # points sharing a vectorised-state structure packed into one
+    # batched fleet by the campaign runner.  This is where the models
+    # get honest: a datapath the noise model likes can still quantise
+    # the rate channel to nothing (the Q1.14 order-4 output filter
+    # does exactly that, and the sweep reports it).
+    for simulated in sweep(max_points=10):
         print("  ", simulated.summary())
 
     print("\n=== Monte-Carlo fleet: part-to-part turn-on spread ===")

@@ -5,6 +5,11 @@ platform: sensitivity, nonlinearity, null voltage, turn-on time, noise
 density and bandwidth, and compares the result with the published
 SensorDynamics, ADXRS300 and Gyrostar numbers.
 
+The characterisation harness and the baseline models replay the same
+scenario-campaign definitions (``repro.scenarios.library``): the rate
+table sweep runs as one batched fleet on the platform and the identical
+stimulus plan drives the behavioural baseline devices.
+
 Run with:  python examples/gyro_case_study.py
 (The full characterisation takes a couple of minutes of wall time.)
 """

@@ -2,13 +2,16 @@
 
 Runs the full mixed-signal co-simulation — MEMS vibrating-ring sensor,
 analog front-end and digital conditioning chain — from power-on, then
-applies a constant yaw rate and prints the chain's digital and analog
-outputs.
+applies yaw rates and prints the chain's digital and analog outputs.
+The rate readings run as one declarative scenario *campaign*: three
+settled-output scenarios branching from the calibrated platform, packed
+into a single batched fleet.
 
 Run with:  python examples/quickstart.py
 """
 
 from repro.platform import GyroPlatform
+from repro.scenarios import Campaign, rate_table_scenarios
 from repro.sensors import Environment
 
 
@@ -22,14 +25,18 @@ def main() -> None:
     print(f"  drive frequency         : "
           f"{platform.conditioner.drive_loop.pll.frequency_hz:.1f} Hz")
 
-    print("\nFactory calibration on the simulated rate table...")
+    print("\nFactory calibration on the simulated rate table "
+          "(one 3-lane fleet)...")
     platform.calibrate(settle_s=0.2)
 
-    for rate in (0.0, 100.0, -200.0):
-        _, rate_dps, rate_v = platform.measure_settled_output(rate, 25.0,
-                                                              duration_s=0.2)
-        print(f"  applied {rate:+7.1f} deg/s -> measured {rate_dps:+8.2f} deg/s, "
-              f"analog output {rate_v:.3f} V")
+    rates = (0.0, 100.0, -200.0)
+    campaign = Campaign(rate_table_scenarios(rates, settle_s=0.2),
+                        name="quickstart-readings")
+    for rate, lane in zip(rates, campaign.run(platform).lanes):
+        metrics = lane.outcomes[0].metrics
+        print(f"  applied {rate:+7.1f} deg/s -> measured "
+              f"{metrics['rate_output_dps']:+8.2f} deg/s, "
+              f"analog output {metrics['rate_output_v']:.3f} V")
 
     result = platform.run(Environment.sinusoidal_rate(50.0, 10.0), 0.3)
     print(f"\n10 Hz, ±50 deg/s swing -> output peak-to-peak "

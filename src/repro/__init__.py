@@ -16,6 +16,7 @@ Subpackages
 ``repro.gyro``      gyro conditioning chain (drive loop, sense chain)
 ``repro.platform``  generic platform, IP portfolio, case-study instance
 ``repro.engine``    fast co-simulation engines (fused kernel, batched fleet)
+``repro.scenarios`` declarative scenario/campaign orchestrator + engine registry
 ``repro.flow``      platform-based design flow (partitioning, DSE, prototyping)
 ``repro.eval``      metric harness, baselines and datasheet comparisons
 """

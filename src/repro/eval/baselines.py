@@ -21,8 +21,15 @@ from scipy import signal as sps
 
 from ..common.analysis import linear_fit, nonlinearity_percent_fs
 from ..common.exceptions import ConfigurationError
-from ..common.noise import band_average_density
 from ..common.units import ROOM_TEMPERATURE_C
+from ..scenarios.library import (
+    noise_density_from_record,
+    noise_floor_scenario,
+    rate_table_scenarios,
+    tail_mean,
+)
+from ..scenarios.scenario import Scenario
+from ..sensors.environment import ConstantProfile
 from .metrics import MeasuredPerformance
 
 
@@ -157,27 +164,60 @@ class BaselineGyroDevice:
         self._state_v = self.spec.null_v
 
 
+def _constant_level(profile, what: str) -> float:
+    """Read the constant level a baseline scenario applies."""
+    if not isinstance(profile, ConstantProfile):
+        raise ConfigurationError(
+            f"baseline devices only accept constant {what} profiles")
+    return float(profile.level)
+
+
+def run_baseline_scenario(device: BaselineGyroDevice,
+                          scenario: Scenario) -> np.ndarray:
+    """Replay one library scenario on a behavioural baseline device.
+
+    The baselines have no digital chain to extract platform metrics
+    from, but they honour the same stimulus description: the scenario's
+    constant rate and temperature, its duration and its power-cycle
+    flag.  Returns the sampled output-voltage record.
+    """
+    rate = _constant_level(scenario.environment.rate_dps, "rate")
+    temperature = _constant_level(scenario.environment.temperature_c,
+                                  "temperature")
+    if scenario.reset:
+        device.reset()
+    return device.simulate(rate, scenario.duration_s, temperature)
+
+
 def characterize_baseline(device: BaselineGyroDevice,
                           rate_points_dps=( -300.0, -150.0, 0.0, 150.0, 300.0),
                           noise_duration_s: float = 4.0,
                           noise_band_hz: Tuple[float, float] = (2.0, 20.0),
                           settle_s: float = 0.5) -> MeasuredPerformance:
-    """Measure a baseline device with the same metrics as the platform."""
+    """Measure a baseline device with the same metrics as the platform.
+
+    The stimulus plan is the shared scenario library — the same
+    rate-table and noise-floor campaign definitions
+    :class:`~repro.eval.metrics.GyroCharacterization` runs on the
+    platform — replayed on the behavioural device model.
+    """
     spec = device.spec
     rates = np.asarray(rate_points_dps, dtype=np.float64)
-    outputs = np.zeros_like(rates)
-    for i, rate in enumerate(rates):
-        device.reset()
-        record = device.simulate(float(rate), settle_s)
-        outputs[i] = float(np.mean(record[len(record) // 2:]))
+    settle_fraction = 0.5
+    sweep = rate_table_scenarios(rate_points_dps, settle_s=settle_s,
+                                 settle_fraction=settle_fraction, reset=True)
+    outputs = np.array([tail_mean(run_baseline_scenario(device, scenario),
+                                  settle_fraction)
+                        for scenario in sweep])
     fit = linear_fit(rates, outputs)
     nonlinearity = nonlinearity_percent_fs(
         rates, outputs, full_scale_output=abs(fit.slope) * 2.0 * spec.full_scale_dps)
 
-    device.reset()
-    zero_record = device.simulate(0.0, noise_duration_s)
-    zero_record = zero_record[len(zero_record) // 5:]
-    noise_v = band_average_density(zero_record, device.sample_rate_hz, noise_band_hz)
+    noise_scenario = noise_floor_scenario(duration_s=noise_duration_s,
+                                          band_hz=noise_band_hz, reset=True)
+    zero_record = run_baseline_scenario(device, noise_scenario)
+    noise_v = noise_density_from_record(zero_record, device.sample_rate_hz,
+                                        noise_band_hz)
     noise_dps = noise_v / abs(spec.sensitivity_v_per_dps)
 
     # over-temperature sensitivity / null from the drift model

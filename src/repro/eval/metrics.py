@@ -17,10 +17,15 @@ import numpy as np
 
 from ..common.analysis import linear_fit, nonlinearity_percent_fs, three_db_bandwidth
 from ..common.exceptions import ConfigurationError
-from ..common.noise import band_average_density
 from ..common.units import ROOM_TEMPERATURE_C
 from ..platform.gyro_platform import GyroPlatform
-from ..sensors.environment import Environment
+from ..scenarios.campaign import Campaign
+from ..scenarios.engines import ENGINE_BATCHED
+from ..scenarios.library import (
+    bandwidth_probe_scenario,
+    noise_floor_scenario,
+    rate_table_scenarios,
+)
 from .datasheet import (
     DatasheetEntry,
     DeviceDatasheet,
@@ -114,12 +119,27 @@ class CharacterizationConfig:
 
 
 class GyroCharacterization:
-    """Characterises a (calibrated) :class:`GyroPlatform` like a datasheet."""
+    """Characterises a (calibrated) :class:`GyroPlatform` like a datasheet.
+
+    Every measurement is a campaign over the shared scenario library
+    (``repro.scenarios.library``) — the same scenario definitions the
+    baseline-device comparison replays — so the platform and the
+    commercial parts are characterised by the identical procedure.
+
+    Args:
+        engine: campaign engine for the multi-scenario sweeps (rate
+            table, bandwidth probes).  Defaults to the batched fleet;
+            pass ``"fused"`` to replay the same scenarios sequentially
+            (bit-identical results, faster below ~12 concurrent lanes —
+            see ``BENCH_engine.json``).
+    """
 
     def __init__(self, platform: GyroPlatform,
-                 config: Optional[CharacterizationConfig] = None):
+                 config: Optional[CharacterizationConfig] = None,
+                 engine: str = ENGINE_BATCHED):
         self.platform = platform
         self.config = config or CharacterizationConfig()
+        self.engine = engine
 
     # -- individual measurements -------------------------------------------------
 
@@ -127,18 +147,23 @@ class GyroCharacterization:
                               ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
         """Sweep the rate table and collect the settled analog outputs.
 
+        The sweep is one campaign of settled-output scenarios branching
+        from the platform's current state — one fleet lane per
+        rate-table point on the batched engine.
+
         Returns:
             ``(rates, output_volts, output_dps)`` arrays.
         """
         cfg = self.config
         rates = np.asarray(cfg.rate_points_dps, dtype=np.float64)
-        volts = np.zeros_like(rates)
-        dps = np.zeros_like(rates)
-        for i, rate in enumerate(rates):
-            _, out_dps, out_v = self.platform.measure_settled_output(
-                float(rate), temperature_c, cfg.settle_s)
-            volts[i] = out_v
-            dps[i] = out_dps
+        sweep = Campaign(rate_table_scenarios(cfg.rate_points_dps,
+                                              temperature_c, cfg.settle_s),
+                         name="rate-table")
+        result = sweep.run(self.platform, engine=self.engine)
+        volts = np.array([lane.outcomes[0].metrics["rate_output_v"]
+                          for lane in result.lanes])
+        dps = np.array([lane.outcomes[0].metrics["rate_output_dps"]
+                        for lane in result.lanes])
         return rates, volts, dps
 
     def measure_sensitivity(self, temperature_c: float = ROOM_TEMPERATURE_C
@@ -155,13 +180,11 @@ class GyroCharacterization:
                               ) -> float:
         """Zero-rate rate-noise density in °/s/√Hz."""
         cfg = self.config
-        result = self.platform.run(Environment.still(temperature_c),
-                                   cfg.noise_duration_s)
-        record = result.rate_output_dps
-        # drop the first 20 % to avoid any residual settling transient
-        record = record[len(record) // 5:]
-        return band_average_density(record, result.sample_rate_hz,
-                                    cfg.noise_band_hz)
+        scenario = noise_floor_scenario(temperature_c, cfg.noise_duration_s,
+                                        cfg.noise_band_hz)
+        result = Campaign([scenario], name="noise-floor").run(self.platform,
+                                                              mutate=True)
+        return result.lanes[0].outcomes[0].metrics["noise_density"]
 
     def measure_bandwidth(self, method: str = "analytic") -> float:
         """-3 dB bandwidth of the rate channel in hertz.
@@ -180,16 +203,14 @@ class GyroCharacterization:
             raise ConfigurationError("method must be 'analytic' or 'measured'")
         cfg = self.config
         freqs = np.asarray(cfg.bandwidth_probe_hz, dtype=np.float64)
-        gains = np.zeros_like(freqs)
-        for i, freq in enumerate(freqs):
-            duration = max(cfg.bandwidth_cycles / freq, 0.2)
-            result = self.platform.run(
-                Environment.sinusoidal_rate(cfg.bandwidth_amplitude_dps, freq),
-                duration)
-            tail = result.settled_slice(0.6)
-            response = result.rate_output_dps[tail]
-            amplitude = np.sqrt(2.0) * np.std(response)
-            gains[i] = amplitude / cfg.bandwidth_amplitude_dps
+        probes = Campaign([bandwidth_probe_scenario(float(freq),
+                                                    cfg.bandwidth_amplitude_dps,
+                                                    cfg.bandwidth_cycles)
+                           for freq in freqs],
+                          name="bandwidth-probes")
+        result = probes.run(self.platform, engine=self.engine)
+        gains = np.array([lane.outcomes[0].metrics["gain"]
+                          for lane in result.lanes])
         return three_db_bandwidth(freqs, gains)
 
     def measure_turn_on_time(self, temperature_c: float = ROOM_TEMPERATURE_C

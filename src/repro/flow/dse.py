@@ -13,6 +13,7 @@ to the expensive mixed-signal simulation.
 from __future__ import annotations
 
 import itertools
+import math
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -191,8 +192,7 @@ class SimulatedPoint:
     def responsive(self) -> bool:
         """Whether the simulated output actually responded to rate."""
         return (self.started
-                and self.measured_scale_channel_per_dps
-                == self.measured_scale_channel_per_dps  # not nan
+                and not math.isnan(self.measured_scale_channel_per_dps)
                 and self.measured_scale_channel_per_dps != 0.0)
 
     def summary(self) -> str:
@@ -238,50 +238,51 @@ def platform_config_for_point(point: DesignPoint):
     return config
 
 
-def simulate_point(evaluated: EvaluatedPoint, duration_s: float = 0.7,
-                   probe_rate_dps: float = 100.0,
-                   settle_fraction: float = 0.6) -> SimulatedPoint:
-    """Validate one design point with the batched co-simulation engine.
-
-    Three scenarios run in NumPy lockstep on identically configured
-    platforms: at rest (noise floor), and at ±``probe_rate_dps`` (scale
-    factor).  The metrics come from the settled tail of the traces, so
-    ``duration_s`` must leave room for start-up (~0.4 s) plus a settled
-    window.
-    """
-    import numpy as np
-
-    from ..engine.batch import FleetSimulator
-    from ..sensors.environment import Environment
-
-    config = platform_config_for_point(evaluated.point)
-    fleet = FleetSimulator.from_config(config, 3)
-    environments = [Environment.still(),
-                    Environment.constant_rate(probe_rate_dps),
-                    Environment.constant_rate(-probe_rate_dps)]
-    still, pos, neg = fleet.run(environments, duration_s, reset=True)
-    turn_on = still.turn_on_time_s
+def _simulated_from_lanes(evaluated: EvaluatedPoint, still, pos, neg,
+                          probe_rate_dps: float) -> SimulatedPoint:
+    """Reduce the three validation-lane outcomes to a SimulatedPoint."""
+    turn_on = still.metrics["turn_on_time_s"]
     nan = float("nan")
-    if turn_on is None or not still.running[-1]:
+    if turn_on is None or not still.metrics["running_at_end"]:
         return SimulatedPoint(evaluated, nan, nan, nan, None)
 
     # two-point fit of the uncalibrated channel response (the traces are
     # in channel units: the scaler is at its unity factory default)
-    tail = still.settled_slice(settle_fraction)
-    zero = float(np.mean(still.rate_output_dps[tail]))
-    span = (float(np.mean(pos.rate_output_dps[tail]))
-            - float(np.mean(neg.rate_output_dps[tail])))
+    zero = still.metrics["tail_mean_dps"]
+    span = pos.metrics["tail_mean_dps"] - neg.metrics["tail_mean_dps"]
     channel_per_dps = span / (2.0 * probe_rate_dps)
     if channel_per_dps == 0.0:
         return SimulatedPoint(evaluated, nan, nan, 0.0, turn_on)
 
     # rate-referred noise density over the output filter's bandwidth
-    noise_std = float(np.std(still.rate_output_dps[tail]))
-    noise_density = (noise_std / abs(channel_per_dps)
+    noise_density = (still.metrics["tail_std_dps"] / abs(channel_per_dps)
                      / float(np.sqrt(evaluated.point.output_bandwidth_hz)))
     offset_dps = zero / channel_per_dps
     return SimulatedPoint(evaluated, noise_density, offset_dps,
                           channel_per_dps, turn_on)
+
+
+def simulate_point(evaluated: EvaluatedPoint, duration_s: float = 0.7,
+                   probe_rate_dps: float = 100.0,
+                   settle_fraction: float = 0.6) -> SimulatedPoint:
+    """Validate one design point through the campaign runner.
+
+    The three validation scenarios — at rest (noise floor) and at
+    ±``probe_rate_dps`` (scale factor) — run as one campaign packed into
+    NumPy lockstep on identically configured platforms.  The metrics
+    come from the settled tail of the traces, so ``duration_s`` must
+    leave room for start-up (~0.5 s) plus a settled window.
+    """
+    from ..scenarios.campaign import Campaign
+    from ..scenarios.library import design_validation_scenarios
+
+    config = platform_config_for_point(evaluated.point)
+    scenarios = design_validation_scenarios(probe_rate_dps, duration_s,
+                                            settle_fraction)
+    result = Campaign(scenarios, engine="batched",
+                      name="dse-validation").run(config=config)
+    still, pos, neg = [lane.outcomes[0] for lane in result.lanes]
+    return _simulated_from_lanes(evaluated, still, pos, neg, probe_rate_dps)
 
 
 def validate_with_simulation(evaluated: Sequence[EvaluatedPoint],
@@ -290,9 +291,100 @@ def validate_with_simulation(evaluated: Sequence[EvaluatedPoint],
                              ) -> List[SimulatedPoint]:
     """Run :func:`simulate_point` over a set of candidate points.
 
-    Points with different word lengths / filter orders change the shape
-    of the vectorised state, so each point gets its own three-scenario
-    fleet rather than one big batch.
+    Each point gets its own three-scenario campaign; use :func:`sweep`
+    to additionally pack structurally compatible points into shared
+    fleets.
     """
     return [simulate_point(e, duration_s=duration_s,
                            probe_rate_dps=probe_rate_dps) for e in evaluated]
+
+
+def _structure_key(point: DesignPoint) -> Tuple[int, int]:
+    """Fleet-compatibility key: what decides the vectorised state shape.
+
+    Per-lane *values* (ADC bits, bandwidths) may differ inside one
+    fleet; the fixed-point word length and the filter order are
+    structural (see :func:`repro.engine.state.check_fleet_compatible`).
+    """
+    return (point.dsp_word_length, point.output_filter_order)
+
+
+def sweep(config: Optional[DseConfig] = None,
+          points: Optional[Sequence[EvaluatedPoint]] = None,
+          duration_s: float = 0.7, probe_rate_dps: float = 100.0,
+          settle_fraction: float = 0.6,
+          min_points: int = 8,
+          max_points: Optional[int] = None) -> List[SimulatedPoint]:
+    """Full simulation-backed DSE sweep over the Pareto front.
+
+    Explores the analytic design space, takes the noise-vs-gates Pareto
+    front (topped up with the next best-scoring points to at least
+    ``min_points``) and validates every candidate with the true
+    mixed-signal co-simulation.  Candidates sharing a vectorised state
+    *structure* (word length, filter order) are packed into one batched
+    campaign — three scenarios per point, so ``k`` compatible points run
+    as a ``3k``-lane fleet.
+
+    Args:
+        config: sweep ranges for the analytic exploration (ignored when
+            ``points`` is given).
+        points: explicit candidates to validate instead of the front.
+        min_points: top up the front to at least this many candidates.
+        max_points: cap the number of candidates (lowest noise first),
+            for quick looks at large fronts.
+
+    Returns:
+        One :class:`SimulatedPoint` per candidate, in candidate order —
+        including the unresponsive ones, so datapaths that quantise the
+        rate signal to nothing (the known Q1.14 order-4 failure mode)
+        are reported honestly rather than dropped.
+    """
+    from ..scenarios.campaign import Campaign
+    from ..scenarios.library import design_validation_scenarios
+
+    if points is None:
+        evaluated = explore(config)
+        candidates = pareto_front(evaluated)
+        if len(candidates) < min_points:
+            chosen = {id(c) for c in candidates}
+            extra = [e for e in evaluated if id(e) not in chosen]
+            candidates = candidates + extra[:min_points - len(candidates)]
+    else:
+        candidates = list(points)
+    if max_points is not None:
+        candidates = candidates[:max_points]
+    if not candidates:
+        raise ConfigurationError("no design points to sweep")
+
+    groups: Dict[Tuple[int, int], List[int]] = {}
+    for index, candidate in enumerate(candidates):
+        groups.setdefault(_structure_key(candidate.point), []).append(index)
+
+    simulated: List[Optional[SimulatedPoint]] = [None] * len(candidates)
+    for indices in groups.values():
+        programs = []
+        platforms = []
+        for index in indices:
+            candidate = candidates[index]
+            point_config = platform_config_for_point(candidate.point)
+            scenarios = design_validation_scenarios(
+                probe_rate_dps, duration_s, settle_fraction)
+            programs.extend(scenarios)
+            platforms.extend(_platforms_for_config(point_config,
+                                                   len(scenarios)))
+        campaign = Campaign(programs, engine="batched", name="dse-sweep")
+        result = campaign.run(platforms=platforms)
+        for slot, index in enumerate(indices):
+            still, pos, neg = [lane.outcomes[0] for lane in
+                               result.lanes[3 * slot:3 * slot + 3]]
+            simulated[index] = _simulated_from_lanes(
+                candidates[index], still, pos, neg, probe_rate_dps)
+    return simulated
+
+
+def _platforms_for_config(config, n: int) -> list:
+    """Build ``n`` identically configured platforms for campaign lanes."""
+    import copy
+
+    from ..platform.gyro_platform import GyroPlatform
+    return [GyroPlatform(copy.deepcopy(config)) for _ in range(n)]

@@ -16,6 +16,7 @@ from .calibration import (
     fit_scale_factor,
     fit_temperature_compensation,
     null_voltage_error,
+    select_reference_slope,
     sensitivity_error_percent,
 )
 
@@ -38,5 +39,6 @@ __all__ = [
     "fit_scale_factor",
     "fit_temperature_compensation",
     "null_voltage_error",
+    "select_reference_slope",
     "sensitivity_error_percent",
 ]

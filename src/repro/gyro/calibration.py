@@ -70,6 +70,37 @@ def fit_scale_factor(applied_rates_dps: Sequence[float],
                             residual_percent_fs=residual)
 
 
+def select_reference_slope(temperatures_c: Sequence[float],
+                           slopes: Sequence[float],
+                           reference_temperature_c: float = 25.0) -> float:
+    """Pick the sensitivity slope the ratio normalisation divides by.
+
+    Prefers the slope measured at the reference temperature; when the
+    sweep does not include it, the first measured slope is used.  A
+    reference slope of exactly zero means the chain produced no rate
+    response at the reference point — normalising by it would silently
+    corrupt every ratio, so it is rejected instead.
+
+    Raises:
+        CalibrationError: on empty/mismatched inputs or a zero
+            reference slope (a dead rate channel).
+    """
+    temps = list(temperatures_c)
+    slope_list = list(slopes)
+    if not slope_list or len(temps) != len(slope_list):
+        raise CalibrationError("need one measured slope per temperature")
+    reference = slope_list[0]
+    for temp, slope in zip(temps, slope_list):
+        if temp == reference_temperature_c:
+            reference = slope
+            break
+    if reference == 0.0:
+        raise CalibrationError(
+            "reference sensitivity slope is zero; the rate channel did not "
+            "respond at the reference temperature")
+    return float(reference)
+
+
 def fit_temperature_compensation(temperatures_c: Sequence[float],
                                  zero_rate_channel: Sequence[float],
                                  sensitivity_ratio: Sequence[float],

@@ -7,7 +7,7 @@ from .generic import (
     GenericSensorPlatform,
     PlatformInstance,
 )
-from .result import GyroSimulationResult
+from .result import GyroSimulationResult, concatenate_results
 from .gyro_platform import (
     GyroPlatform,
     GyroPlatformConfig,
@@ -24,6 +24,7 @@ __all__ = [
     "GenericSensorPlatform",
     "PlatformInstance",
     "GyroSimulationResult",
+    "concatenate_results",
     "GyroPlatform",
     "GyroPlatformConfig",
     "TemperatureSensorConfig",

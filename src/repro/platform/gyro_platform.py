@@ -20,8 +20,13 @@ import numpy as np
 from ..afe.frontend import FrontEndConfig, GyroAnalogFrontEnd
 from ..common.exceptions import ConfigurationError, SimulationError
 from ..common.units import ROOM_TEMPERATURE_C
-from ..gyro.calibration import fit_scale_factor, fit_temperature_compensation
+from ..gyro.calibration import (
+    fit_scale_factor,
+    fit_temperature_compensation,
+    select_reference_slope,
+)
 from ..gyro.conditioning import GyroConditioner, GyroConditionerConfig
+from ..scenarios.engines import ENGINE_BATCHED, get_engine, validate_engine
 from ..sensors.environment import Environment
 from ..sensors.gyro import GyroParameters, VibratingRingGyro
 from .result import GyroSimulationResult
@@ -58,7 +63,8 @@ class GyroPlatformConfig:
         engine: default simulation engine — ``"fused"`` (flattened
             single-function kernel, the fast default) or ``"reference"``
             (the original object-oriented per-sample loop).  Both produce
-            bit-identical traces; see ``repro.engine``.
+            bit-identical traces; see ``repro.engine`` and the registry
+            in ``repro.scenarios.engines``.
     """
 
     sample_rate_hz: float = 120_000.0
@@ -75,47 +81,13 @@ class GyroPlatformConfig:
             raise ConfigurationError("sample rate must be > 0")
         if self.record_decimation < 1:
             raise ConfigurationError("record decimation must be >= 1")
-        if self.engine not in ("fused", "reference"):
-            raise ConfigurationError(
-                f"engine must be 'fused' or 'reference', got {self.engine!r}")
+        validate_engine(self.engine, scalar_only=True)
         # keep every section on the same time base
         self.frontend.sample_rate_hz = self.sample_rate_hz
         self.conditioner.drive.pll.sample_rate_hz = self.sample_rate_hz
         self.conditioner.sense.sample_rate_hz = self.sample_rate_hz
         self.conditioner.rebalance.sample_rate_hz = self.sample_rate_hz
         self.conditioner.startup.sample_rate_hz = self.sample_rate_hz
-
-
-def _concatenate_results(results: Sequence[GyroSimulationResult]
-                         ) -> GyroSimulationResult:
-    """Concatenate consecutive simulation segments into one result."""
-    if not results:
-        raise SimulationError("no simulation segments to concatenate")
-    if len(results) == 1:
-        return results[0]
-    last = results[-1]
-
-    def cat(name: str) -> np.ndarray:
-        return np.concatenate([getattr(r, name) for r in results])
-
-    waveforms = all(r.primary_pickoff_norm is not None for r in results)
-    return GyroSimulationResult(
-        time_s=cat("time_s"),
-        sample_rate_hz=last.sample_rate_hz,
-        true_rate_dps=cat("true_rate_dps"),
-        temperature_c=cat("temperature_c"),
-        rate_output_dps=cat("rate_output_dps"),
-        rate_output_v=cat("rate_output_v"),
-        amplitude_control=cat("amplitude_control"),
-        amplitude_error=cat("amplitude_error"),
-        phase_error=cat("phase_error"),
-        vco_control=cat("vco_control"),
-        pll_locked=cat("pll_locked"),
-        running=cat("running"),
-        primary_pickoff_norm=cat("primary_pickoff_norm") if waveforms else None,
-        drive_word=cat("drive_word") if waveforms else None,
-        turn_on_time_s=last.turn_on_time_s,
-    )
 
 
 class GyroPlatform:
@@ -172,15 +144,18 @@ class GyroPlatform:
         """
         if duration_s <= 0:
             raise SimulationError("duration must be > 0")
-        engine = engine or self.config.engine
-        if engine not in ("fused", "reference"):
-            raise ConfigurationError(
-                f"engine must be 'fused' or 'reference', got {engine!r}")
+        spec = get_engine(engine or self.config.engine, scalar_only=True)
         if reset:
             self.reset()
-        if engine == "fused":
-            from ..engine.fused import run_fused
-            return run_fused(self, environment, duration_s, record_waveforms)
+        return spec.run(self, environment, duration_s, record_waveforms)
+
+    def _run_reference(self, environment: Environment, duration_s: float,
+                       record_waveforms: bool = False) -> GyroSimulationResult:
+        """The original object-oriented per-sample loop (ground truth).
+
+        Validation and reset are handled by the caller (:meth:`run` or
+        the engine registry).
+        """
         cfg = self.config
         fs = cfg.sample_rate_hz
         dt = 1.0 / fs
@@ -267,32 +242,58 @@ class GyroPlatform:
             turn_on_time_s=conditioner.startup.turn_on_time_s,
         )
 
+    def make_fleet(self, n: int) -> "FleetSimulator":
+        """Clone this platform into an ``n``-lane batched fleet.
+
+        Each lane is a deep copy — calibration words, filter states,
+        start-up progress and noise-generator positions included.  Keep
+        the returned :class:`~repro.engine.batch.FleetSimulator` around
+        and pass it back to :meth:`run_batch` (or run it directly) so
+        repeated campaigns do not pay a fresh deep copy per call.
+        """
+        import copy
+
+        from ..engine.batch import FleetSimulator
+        if n < 1:
+            raise ConfigurationError("fleet size must be >= 1")
+        return FleetSimulator([copy.deepcopy(self) for _ in range(n)])
+
     def run_batch(self, environments: Sequence[Environment],
                   duration_s: float, reset: bool = False,
-                  record_waveforms: bool = False
+                  record_waveforms: bool = False,
+                  fleet: "Optional[FleetSimulator]" = None
                   ) -> "List[GyroSimulationResult]":
         """Simulate one scenario per environment in NumPy lockstep.
 
         Deep-copies this platform into one independent clone per
-        environment — calibration words, filter states, start-up
-        progress and noise-generator positions included — and steps the
-        clones together through the batched engine, amortising the
-        Python interpreter cost across the whole fleet.  Returns one
+        environment (see :meth:`make_fleet`) and steps the clones
+        together through the batched engine, amortising the Python
+        interpreter cost across the whole fleet.  Returns one
         :class:`GyroSimulationResult` per environment, each bit-identical
         to what this platform would have produced running that scenario
         alone with the reference (or fused) engine.  This platform
         itself is not advanced; pass ``reset=True`` to power-cycle the
         clones instead of continuing from the current state.
 
-        Use :class:`repro.engine.FleetSimulator` directly for
-        heterogeneous fleets (per-device mismatch, Monte Carlo runs) or
-        to keep the lane platforms around between runs.
-        """
-        import copy
+        Args:
+            fleet: an existing fleet (e.g. from :meth:`make_fleet`) to
+                run instead of cloning this platform again — its lanes
+                carry their state from run to run.
 
-        from ..engine.batch import FleetSimulator
-        fleet = FleetSimulator([copy.deepcopy(self)
-                                for _ in range(len(environments))])
+        Use :class:`repro.engine.FleetSimulator` directly for
+        heterogeneous fleets (per-device mismatch, Monte Carlo runs).
+        """
+        if fleet is None:
+            if isinstance(environments, Environment):
+                raise ConfigurationError(
+                    "a single environment does not define the fleet size; "
+                    "pass a sequence of environments or an explicit fleet")
+            fleet = self.make_fleet(len(environments))
+        elif (not isinstance(environments, Environment)
+              and len(environments) != len(fleet)):
+            raise ConfigurationError(
+                f"got {len(environments)} environments for "
+                f"{len(fleet)} fleet lanes")
         return fleet.run(environments, duration_s, reset=reset,
                          record_waveforms=record_waveforms)
 
@@ -303,53 +304,65 @@ class GyroPlatform:
               chunk_s: float = 0.1) -> GyroSimulationResult:
         """Power-cycle and run until start-up completes (or the limit expires).
 
-        The simulation proceeds in ``chunk_s`` slices and stops as soon
-        as the start-up sequencer reports RUNNING, so a healthy part does
-        not pay for the full watchdog window.
+        The start-up scenario proceeds in ``chunk_s`` slices and stops
+        as soon as the start-up sequencer reports RUNNING, so a healthy
+        part does not pay for the full watchdog window.
         """
-        env = Environment.still(temperature_c)
-        results = [self.run(env, chunk_s, reset=True)]
-        while not self.conditioner.running and self._time_s < max_duration_s:
-            results.append(self.run(env, chunk_s))
-        if not self.conditioner.running:
-            raise SimulationError(
-                "conditioning chain failed to complete start-up within "
-                f"{max_duration_s} s")
-        return _concatenate_results(results)
+        from ..scenarios.campaign import Campaign
+        from ..scenarios.library import startup_scenario
+
+        scenario = startup_scenario(temperature_c, max_duration_s, chunk_s)
+        result = Campaign([scenario], name="startup").run(self, mutate=True)
+        return result.lanes[0].outcomes[0].result
 
     def measure_settled_output(self, rate_dps: float, temperature_c: float,
                                duration_s: float = 0.2) -> Tuple[float, float, float]:
         """Apply a constant rate and return settled chain outputs.
 
         Returns:
-            ``(rate_channel, rate_output_dps, rate_output_v)`` averaged
-            over the second half of the window.
+            ``(rate_channel, rate_output_dps, rate_output_v)``; the
+            outputs are averaged over the settled tail of the window and
+            the raw (uncompensated) channel value is read from the chain
+            state, exactly as the settled-output scenario defines.
         """
-        result = self.run(Environment.constant_rate(rate_dps, temperature_c),
-                          duration_s)
-        tail = result.settled_slice(0.4)
-        # raw (uncompensated) channel value is not recorded in the traces;
-        # read it from the chain state (it is heavily low-pass filtered, so
-        # the instantaneous value is representative of the settled mean)
-        raw_channel = self.conditioner.sense_chain.rate_channel
-        return (raw_channel,
-                float(np.mean(result.rate_output_dps[tail])),
-                float(np.mean(result.rate_output_v[tail])))
+        from ..scenarios.campaign import Campaign
+        from ..scenarios.library import settled_output_scenario
+
+        scenario = settled_output_scenario(rate_dps, temperature_c, duration_s)
+        result = Campaign([scenario], name="settled-output").run(self,
+                                                                 mutate=True)
+        metrics = result.lanes[0].outcomes[0].metrics
+        return (metrics["raw_channel"], metrics["rate_output_dps"],
+                metrics["rate_output_v"])
 
     def calibrate(self, rates_dps: Sequence[float] = (-200.0, 0.0, 200.0),
                   temperature_c: float = ROOM_TEMPERATURE_C,
-                  settle_s: float = 0.25) -> None:
+                  settle_s: float = 0.25,
+                  engine: str = ENGINE_BATCHED) -> None:
         """Factory calibration of scale factor and zero-rate offset.
 
-        Runs start-up, applies each calibration rate on the simulated rate
-        table, fits the response and programs the sense-chain scaler and
-        offset compensation.
+        Runs start-up on this platform, then measures every calibration
+        rate as one campaign of settled-output scenarios branching from
+        the started state — by default packed into a single batched
+        fleet, one lane per rate-table point — fits the response and
+        programs the sense-chain scaler and offset compensation.
+
+        Args:
+            engine: campaign engine for the rate sweep.  The scalar
+                engines replay the same scenarios sequentially and
+                program bit-identical calibration words (locked by
+                ``tests/test_scenarios.py``).
         """
+        from ..scenarios.campaign import Campaign
+        from ..scenarios.library import rate_table_scenarios
+
         self.start(temperature_c)
-        channels = []
-        for rate in rates_dps:
-            raw, _, _ = self.measure_settled_output(rate, temperature_c, settle_s)
-            channels.append(raw)
+        sweep = Campaign(rate_table_scenarios(rates_dps, temperature_c,
+                                              settle_s),
+                         name="calibration-sweep")
+        result = sweep.run(self, engine=engine)
+        channels = [lane.outcomes[0].metrics["raw_channel"]
+                    for lane in result.lanes]
         calibration = fit_scale_factor(rates_dps, channels)
         self.conditioner.sense_chain.calibrate_scale(calibration.channel_per_dps)
         self.conditioner.sense_chain.calibrate_offset(calibration.channel_offset)
@@ -358,31 +371,43 @@ class GyroPlatform:
     def calibrate_temperature(self,
                               temperatures_c: Sequence[float] = (-40.0, 25.0, 85.0),
                               probe_rate_dps: float = 100.0,
-                              settle_s: float = 0.25) -> None:
+                              settle_s: float = 0.25,
+                              engine: str = ENGINE_BATCHED) -> None:
         """Fit and install temperature-compensation polynomials.
 
-        At each temperature the platform is restarted, the zero-rate
-        channel output and the sensitivity are measured, and first-order
-        compensation polynomials are fitted.
+        Each temperature leg is one lane program — restart at the
+        temperature, measure the zero-rate channel, measure the
+        sensitivity at ``probe_rate_dps`` — and the legs run as one
+        campaign (by default a batched fleet whose lanes leave start-up
+        independently, exactly like the chunked ``start()`` loop).
+        First-order compensation polynomials are fitted from the
+        per-leg metrics.
         """
         if not self.calibrated:
             raise SimulationError("run calibrate() before calibrate_temperature()")
+        from ..scenarios.campaign import Campaign
+        from ..scenarios.library import settled_output_scenario, startup_scenario
+
         static_offset = self.conditioner.sense_chain.offset_comp.offset
+        programs = [[startup_scenario(temp),
+                     settled_output_scenario(0.0, temp, settle_s,
+                                             name=f"zero@{temp:g}C"),
+                     settled_output_scenario(probe_rate_dps, temp, settle_s,
+                                             name=f"probe@{temp:g}C")]
+                    for temp in temperatures_c]
+        result = Campaign(programs, name="temperature-calibration").run(
+            self, engine=engine)
         offsets = []
-        ratios = []
-        reference_slope = None
-        for temp in temperatures_c:
-            self.start(temp)
-            zero_raw, _, _ = self.measure_settled_output(0.0, temp, settle_s)
-            pos_raw, _, _ = self.measure_settled_output(probe_rate_dps, temp, settle_s)
-            slope = (pos_raw - zero_raw) / probe_rate_dps
+        slopes = []
+        for lane in result.lanes:
+            zero_raw = lane.outcomes[1].metrics["raw_channel"]
+            pos_raw = lane.outcomes[2].metrics["raw_channel"]
+            slopes.append((pos_raw - zero_raw) / probe_rate_dps)
             # residual offset after the static compensation, in the raw
             # channel units the temperature compensation operates on
             offsets.append(zero_raw - static_offset)
-            if temp == ROOM_TEMPERATURE_C or reference_slope is None:
-                reference_slope = slope
-            ratios.append(slope)
-        reference_slope = reference_slope or ratios[0]
-        ratios = [r / reference_slope for r in ratios]
+        reference_slope = select_reference_slope(temperatures_c, slopes,
+                                                 ROOM_TEMPERATURE_C)
+        ratios = [s / reference_slope for s in slopes]
         config = fit_temperature_compensation(temperatures_c, offsets, ratios)
         self.conditioner.sense_chain.calibrate_temperature(config)

@@ -3,11 +3,11 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Dict, Optional, Sequence
 
 import numpy as np
 
-from ..common.exceptions import ConfigurationError
+from ..common.exceptions import ConfigurationError, SimulationError
 
 
 @dataclass
@@ -99,3 +99,43 @@ class GyroSimulationResult:
             "locked": bool(self.pll_locked[-1]) if self.pll_locked.size else False,
             "turn_on_time_s": self.turn_on_time_s if self.turn_on_time_s is not None else float("nan"),
         }
+
+
+def concatenate_results(results: Sequence["GyroSimulationResult"]
+                        ) -> "GyroSimulationResult":
+    """Concatenate consecutive simulation segments into one result.
+
+    Consecutive ``run()`` calls on one platform are exactly one
+    continuous simulation split at recording boundaries, so the campaign
+    layer and the chunked start-up loop stitch their segment traces back
+    together with this.  The turn-on time and sample rate come from the
+    last segment; waveform traces are concatenated only when every
+    segment recorded them.
+    """
+    if not results:
+        raise SimulationError("no simulation segments to concatenate")
+    if len(results) == 1:
+        return results[0]
+    last = results[-1]
+
+    def cat(name: str) -> np.ndarray:
+        return np.concatenate([getattr(r, name) for r in results])
+
+    waveforms = all(r.primary_pickoff_norm is not None for r in results)
+    return GyroSimulationResult(
+        time_s=cat("time_s"),
+        sample_rate_hz=last.sample_rate_hz,
+        true_rate_dps=cat("true_rate_dps"),
+        temperature_c=cat("temperature_c"),
+        rate_output_dps=cat("rate_output_dps"),
+        rate_output_v=cat("rate_output_v"),
+        amplitude_control=cat("amplitude_control"),
+        amplitude_error=cat("amplitude_error"),
+        phase_error=cat("phase_error"),
+        vco_control=cat("vco_control"),
+        pll_locked=cat("pll_locked"),
+        running=cat("running"),
+        primary_pickoff_norm=cat("primary_pickoff_norm") if waveforms else None,
+        drive_word=cat("drive_word") if waveforms else None,
+        turn_on_time_s=last.turn_on_time_s,
+    )

@@ -1,0 +1,58 @@
+"""Declarative scenario / campaign subsystem.
+
+Every run loop in the codebase — chunked start-up, factory calibration,
+temperature calibration, datasheet characterisation, simulation-backed
+DSE, the examples and the benchmarks — is expressed as
+:class:`Scenario` objects executed by a :class:`Campaign`, which packs
+lanes into the batched fleet engine (or replays them sequentially on
+the scalar engines) with identical, bit-exact results.
+"""
+
+from .engines import (
+    ENGINE_BATCHED,
+    ENGINE_FUSED,
+    ENGINE_REFERENCE,
+    EngineSpec,
+    engine_names,
+    get_engine,
+    register_engine,
+    validate_engine,
+)
+from .scenario import Scenario, ScenarioOutcome
+from .campaign import Campaign, CampaignResult, LaneOutcome
+from .library import (
+    bandwidth_probe_scenario,
+    design_validation_scenarios,
+    noise_density_from_record,
+    noise_floor_scenario,
+    rate_table_scenarios,
+    settled_output_scenario,
+    startup_complete,
+    startup_scenario,
+    tail_mean,
+)
+
+__all__ = [
+    "ENGINE_BATCHED",
+    "ENGINE_FUSED",
+    "ENGINE_REFERENCE",
+    "EngineSpec",
+    "engine_names",
+    "get_engine",
+    "register_engine",
+    "validate_engine",
+    "Scenario",
+    "ScenarioOutcome",
+    "Campaign",
+    "CampaignResult",
+    "LaneOutcome",
+    "bandwidth_probe_scenario",
+    "design_validation_scenarios",
+    "noise_density_from_record",
+    "noise_floor_scenario",
+    "rate_table_scenarios",
+    "settled_output_scenario",
+    "startup_complete",
+    "startup_scenario",
+    "tail_mean",
+]

@@ -1,0 +1,303 @@
+"""Campaign runner: one orchestrator for every co-simulation run loop.
+
+A :class:`Campaign` takes lane *programs* — each a scenario or a
+sequence of scenarios to run back-to-back on one platform — and executes
+them on any registered engine.  With a scalar engine the lanes run one
+after another; with the ``"batched"`` engine the lanes are packed into
+:class:`~repro.engine.batch.FleetSimulator` lockstep automatically.
+
+Either way the campaign advances in *chunks*: each chunk ends at the
+nearest upcoming boundary of any active lane (a stop-condition check
+point or a scenario end), so early-stop conditions — "start-up
+completed" — work in batch exactly like the platform's chunked
+``start()`` loop always has, and lanes whose programs finish early
+simply drop out of the fleet.  Because consecutive engine runs compose
+exactly into one continuous simulation, the chunking is invisible: a
+scenario replayed through any engine, in any fleet packing, from the
+same platform state produces bit-identical traces and metrics (for
+time-varying stimulus profiles this additionally requires the same
+chunk boundaries, which the sequential and batched paths share by
+construction).
+
+One recording caveat: each engine call restarts the trace-decimation
+grid, so when a lane is interrupted at a chunk boundary that is not a
+multiple of ``record_decimation`` samples (possible only when another
+fleet lane's scenario ends off-grid), the stitched record gains a few
+closer-spaced points at the join.  Platform state and metrics read from
+state are unaffected, and the standard library scenarios use durations
+that land on the grid; keep scenario durations and stop-check intervals
+multiples of ``record_decimation / sample_rate_hz`` when trace
+uniformity matters (PSD-based extractors).
+"""
+
+from __future__ import annotations
+
+import copy
+import dataclasses
+from typing import List, Optional, Sequence, Union
+
+from ..common.exceptions import ConfigurationError, SimulationError
+from ..platform.result import concatenate_results
+from .engines import ENGINE_BATCHED, get_engine
+from .scenario import Scenario, ScenarioOutcome
+
+
+@dataclasses.dataclass
+class LaneOutcome:
+    """Everything one campaign lane produced.
+
+    Attributes:
+        platform: the platform the lane ran on (a clone of the base
+            platform unless the caller supplied its own lanes or ran
+            with ``mutate=True``) in its final state — inspect it or
+            adopt its state for follow-on runs.
+        outcomes: one :class:`ScenarioOutcome` per program scenario, in
+            execution order.
+    """
+
+    platform: object
+    outcomes: List[ScenarioOutcome]
+
+    def outcome(self, name: str) -> ScenarioOutcome:
+        """The lane's outcome for the scenario called ``name``."""
+        for outcome in self.outcomes:
+            if outcome.name == name:
+                return outcome
+        raise ConfigurationError(
+            f"lane has no outcome for scenario {name!r}")
+
+
+class CampaignResult:
+    """Per-lane outcomes of a campaign run."""
+
+    def __init__(self, lanes: List[LaneOutcome]):
+        self.lanes = lanes
+
+    def __len__(self) -> int:
+        return len(self.lanes)
+
+    def __iter__(self):
+        return iter(self.lanes)
+
+    def outcomes(self) -> List[ScenarioOutcome]:
+        """All scenario outcomes, lane-major."""
+        return [outcome for lane in self.lanes for outcome in lane.outcomes]
+
+    def outcome(self, name: str) -> ScenarioOutcome:
+        """The first outcome for the scenario called ``name``."""
+        for outcome in self.outcomes():
+            if outcome.name == name:
+                return outcome
+        raise ConfigurationError(
+            f"campaign has no outcome for scenario {name!r}")
+
+    def metric(self, name: str) -> List[float]:
+        """Collect one metric across all outcomes that define it."""
+        values = [outcome.metrics[name] for outcome in self.outcomes()
+                  if name in outcome.metrics]
+        if not values:
+            raise ConfigurationError(
+                f"no scenario extracted a metric called {name!r}")
+        return values
+
+
+class _LaneState:
+    """Execution cursor of one lane through its scenario program."""
+
+    def __init__(self, platform, program: Sequence[Scenario], fs: float):
+        self.platform = platform
+        self.program = list(program)
+        self.fs = fs
+        self.index = -1
+        self.outcomes: List[ScenarioOutcome] = []
+        self._segments = []
+        self._sample = 0          # samples into the current scenario
+        self._n_total = 0
+        self._n_check = 0
+        self.done = not self.program
+
+    @property
+    def scenario(self) -> Scenario:
+        return self.program[self.index]
+
+    def begin_next_scenario(self) -> None:
+        self.index += 1
+        if self.index >= len(self.program):
+            self.done = True
+            return
+        scenario = self.scenario
+        if scenario.reset:
+            self.platform.reset()
+        self._segments = []
+        self._sample = 0
+        self._n_total = max(1, int(round(scenario.duration_s * self.fs)))
+        if scenario.stop is not None:
+            self._n_check = max(1, int(round(scenario.stop_check_s * self.fs)))
+        else:
+            self._n_check = self._n_total
+
+    def samples_to_boundary(self) -> int:
+        """Samples until this lane's next stop check or scenario end."""
+        next_check = (self._sample // self._n_check + 1) * self._n_check
+        return min(next_check, self._n_total) - self._sample
+
+    def environment(self):
+        """The current scenario's stimulus, shifted to the lane position."""
+        return self.scenario.environment.shifted(self._sample / self.fs)
+
+    def advance(self, samples: int, result) -> None:
+        """Account a finished chunk and roll over completed scenarios."""
+        self._segments.append(result)
+        self._sample += samples
+        scenario = self.scenario
+        at_check = self._sample % self._n_check == 0
+        at_end = self._sample >= self._n_total
+        stopped = (scenario.stop is not None and (at_check or at_end)
+                   and scenario.stop(self.platform))
+        if not stopped and not at_end:
+            return
+        if not stopped and scenario.require_stop:
+            raise SimulationError(
+                scenario.timeout_message
+                or (f"scenario {scenario.name!r} timed out after "
+                    f"{scenario.duration_s} s without meeting its stop "
+                    "condition"))
+        self._finish(stopped_early=stopped and not at_end)
+        self.begin_next_scenario()
+
+    def _finish(self, stopped_early: bool) -> None:
+        scenario = self.scenario
+        result = concatenate_results(self._segments)
+        if not scenario.record_waveforms and result.primary_pickoff_norm is not None:
+            # another fleet lane wanted waveforms this chunk; recording is
+            # trace-only, so dropping them preserves bit-identity
+            result = dataclasses.replace(result, primary_pickoff_norm=None,
+                                         drive_word=None)
+        metrics = {name: fn(self.platform, result)
+                   for name, fn in scenario.extractors.items()}
+        self.outcomes.append(ScenarioOutcome(
+            scenario=scenario, result=result, metrics=metrics,
+            stopped_early=stopped_early,
+            elapsed_s=self._sample / self.fs))
+
+
+Program = Union[Scenario, Sequence[Scenario]]
+
+
+class Campaign:
+    """Packs scenario programs into fleet lanes (or sequential runs).
+
+    Args:
+        programs: one entry per lane — a single :class:`Scenario` or a
+            sequence of scenarios run back-to-back on that lane.
+        engine: default engine for :meth:`run` (``"reference"``,
+            ``"fused"`` or ``"batched"``); when omitted, multi-lane
+            campaigns default to ``"batched"`` and single-lane campaigns
+            to the base platform's configured engine.
+        name: label for error messages and reports.
+    """
+
+    def __init__(self, programs: Sequence[Program],
+                 engine: Optional[str] = None, name: str = "campaign"):
+        if not programs:
+            raise ConfigurationError("campaign needs at least one scenario")
+        self.programs: List[List[Scenario]] = []
+        for program in programs:
+            lane = [program] if isinstance(program, Scenario) else list(program)
+            if not lane:
+                raise ConfigurationError("empty scenario program")
+            if not all(isinstance(s, Scenario) for s in lane):
+                raise ConfigurationError(
+                    "programs must contain Scenario objects")
+            self.programs.append(lane)
+        if engine is not None:
+            get_engine(engine)
+        self.engine = engine
+        self.name = name
+
+    def __len__(self) -> int:
+        return len(self.programs)
+
+    # -- execution ----------------------------------------------------------
+
+    def run(self, platform=None, *, platforms=None, config=None,
+            engine: Optional[str] = None, mutate: bool = False
+            ) -> CampaignResult:
+        """Execute every lane program and return the per-lane outcomes.
+
+        Exactly one base must be given:
+
+        * ``platform`` — each lane runs on a deep copy (state, noise
+          positions and calibration words included), so campaigns branch
+          from the platform without advancing it.  With ``mutate=True``
+          (single-lane campaigns only) the lane runs on the platform
+          itself, the way ``start()`` and the settled-output
+          measurements work.
+        * ``platforms`` — one pre-built platform per lane, advanced in
+          place; reuse them across campaigns to avoid per-run deep
+          copies.
+        * ``config`` — each lane gets a fresh platform built from its
+          own deep copy of the configuration.
+
+        Args:
+            engine: override the campaign's engine for this run.
+        """
+        lanes = self._resolve_lanes(platform, platforms, config, mutate)
+        engine = engine or self.engine
+        if engine is None:
+            engine = (ENGINE_BATCHED if len(lanes) > 1
+                      else lanes[0].config.engine)
+        spec = get_engine(engine)
+        fs = lanes[0].config.sample_rate_hz
+        states = [_LaneState(p, program, fs)
+                  for p, program in zip(lanes, self.programs)]
+        for state in states:
+            state.begin_next_scenario()
+        active = [s for s in states if not s.done]
+        while active:
+            step = min(state.samples_to_boundary() for state in active)
+            duration = step / fs
+            environments = [state.environment() for state in active]
+            record = any(state.scenario.record_waveforms for state in active)
+            if spec.batched:
+                from ..engine.batch import FleetSimulator
+                fleet = FleetSimulator([state.platform for state in active])
+                results = fleet.run(environments, duration,
+                                    record_waveforms=record)
+            else:
+                results = [spec.run(state.platform, env, duration,
+                                    state.scenario.record_waveforms)
+                           for state, env in zip(active, environments)]
+            for state, result in zip(active, results):
+                state.advance(step, result)
+            active = [s for s in active if not s.done]
+        return CampaignResult([LaneOutcome(s.platform, s.outcomes)
+                               for s in states])
+
+    def _resolve_lanes(self, platform, platforms, config, mutate) -> list:
+        given = [x is not None for x in (platform, platforms, config)]
+        if sum(given) != 1:
+            raise ConfigurationError(
+                "give exactly one of platform, platforms or config")
+        n = len(self.programs)
+        if platforms is not None:
+            if mutate:
+                raise ConfigurationError(
+                    "mutate only applies when branching from one platform")
+            platforms = list(platforms)
+            if len(platforms) != n:
+                raise ConfigurationError(
+                    f"got {len(platforms)} platforms for {n} lanes")
+            return platforms
+        if config is not None:
+            if mutate:
+                raise ConfigurationError(
+                    "mutate only applies when branching from one platform")
+            from ..platform.gyro_platform import GyroPlatform
+            return [GyroPlatform(copy.deepcopy(config)) for _ in range(n)]
+        if mutate:
+            if n != 1:
+                raise ConfigurationError(
+                    "mutate=True requires a single-lane campaign")
+            return [platform]
+        return [copy.deepcopy(platform) for _ in range(n)]

@@ -1,0 +1,127 @@
+"""Registry of the interchangeable co-simulation engines.
+
+One place knows which execution paths exist and what each is for; the
+platform configuration, ``GyroPlatform.run`` and the campaign runner all
+resolve engine names here instead of keeping their own string checks.
+
+* ``"reference"`` — the object-oriented per-sample loop; the behavioural
+  ground truth.  Use it when debugging a single block.
+* ``"fused"`` — the flattened scalar kernel; bit-identical, several
+  times faster.  The right default for any single-platform run.
+* ``"batched"`` — the NumPy lockstep fleet.  It has no scalar runner:
+  campaigns (or :class:`repro.engine.FleetSimulator` directly) pack
+  scenarios into its lanes.  One lockstep pass costs several fused
+  samples, so it only pays off with enough concurrent lanes (roughly
+  B >= 12 on the benchmark machine, see ``BENCH_engine.json``); below
+  that, running scenarios sequentially on the fused kernel is faster.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Tuple
+
+from ..common.exceptions import ConfigurationError
+
+ENGINE_REFERENCE = "reference"
+ENGINE_FUSED = "fused"
+ENGINE_BATCHED = "batched"
+
+
+@dataclass(frozen=True)
+class EngineSpec:
+    """One registered co-simulation engine.
+
+    Attributes:
+        name: registry key (the value of ``GyroPlatformConfig.engine``).
+        batched: whether the engine steps a whole fleet per pass; such
+            engines have no scalar runner and are driven through the
+            campaign layer / :class:`~repro.engine.batch.FleetSimulator`.
+        description: one-line summary for error messages and reports.
+        runner: scalar entry point
+            ``runner(platform, environment, duration_s, record_waveforms)``
+            returning a :class:`~repro.platform.result.GyroSimulationResult`.
+    """
+
+    name: str
+    batched: bool
+    description: str
+    runner: Optional[Callable] = None
+
+    def run(self, platform, environment, duration_s: float,
+            record_waveforms: bool = False):
+        """Run one platform through this engine's scalar entry point."""
+        if self.runner is None:
+            raise ConfigurationError(
+                f"engine {self.name!r} has no scalar runner; drive it "
+                "through a Campaign or a FleetSimulator")
+        return self.runner(platform, environment, duration_s,
+                           record_waveforms)
+
+
+def _run_reference(platform, environment, duration_s: float,
+                   record_waveforms: bool = False):
+    return platform._run_reference(environment, duration_s, record_waveforms)
+
+
+def _run_fused(platform, environment, duration_s: float,
+               record_waveforms: bool = False):
+    from ..engine.fused import run_fused
+    return run_fused(platform, environment, duration_s, record_waveforms)
+
+
+_REGISTRY: Dict[str, EngineSpec] = {}
+
+
+def register_engine(spec: EngineSpec) -> None:
+    """Register an engine (rejects duplicate names)."""
+    if spec.name in _REGISTRY:
+        raise ConfigurationError(f"engine {spec.name!r} is already registered")
+    _REGISTRY[spec.name] = spec
+
+
+register_engine(EngineSpec(
+    ENGINE_REFERENCE, batched=False,
+    description="object-oriented per-sample loop (behavioural ground truth)",
+    runner=_run_reference))
+register_engine(EngineSpec(
+    ENGINE_FUSED, batched=False,
+    description="flattened scalar kernel (fast single-platform default)",
+    runner=_run_fused))
+register_engine(EngineSpec(
+    ENGINE_BATCHED, batched=True,
+    description="NumPy lockstep fleet (amortises the interpreter over "
+                "B concurrent lanes)"))
+
+
+def engine_names(scalar_only: bool = False) -> Tuple[str, ...]:
+    """Names of the registered engines (optionally scalar ones only)."""
+    return tuple(name for name, spec in _REGISTRY.items()
+                 if not (scalar_only and spec.batched))
+
+
+def get_engine(name: str, scalar_only: bool = False) -> EngineSpec:
+    """Resolve an engine name, raising :class:`ConfigurationError` on miss.
+
+    Args:
+        name: registry key to look up.
+        scalar_only: additionally reject batch-only engines — used by
+            the single-platform entry points (``GyroPlatform.run`` and
+            the platform configuration default).
+    """
+    spec = _REGISTRY.get(name)
+    if spec is None:
+        raise ConfigurationError(
+            f"unknown engine {name!r}; available engines: "
+            f"{', '.join(sorted(_REGISTRY))}")
+    if scalar_only and spec.batched:
+        raise ConfigurationError(
+            f"engine {name!r} steps whole fleets and cannot drive a single "
+            f"run; pick one of: {', '.join(sorted(engine_names(True)))}")
+    return spec
+
+
+def validate_engine(name: str, scalar_only: bool = False) -> str:
+    """Validate an engine name and return it unchanged."""
+    get_engine(name, scalar_only=scalar_only)
+    return name

@@ -1,0 +1,198 @@
+"""Reusable scenario library for the standard platform run loops.
+
+Every run loop the codebase used to hand-roll — chunked start-up,
+settled rate-table points, zero-rate noise records, sinusoidal
+bandwidth probes and the DSE validation trio — is expressed here as a
+named :class:`~repro.scenarios.scenario.Scenario` builder, so the
+platform calibration procedures, the characterisation harness, the
+baseline-device comparison and the simulation-backed DSE all replay the
+*same* campaign definitions instead of private loops.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from ..common.noise import band_average_density
+from ..common.units import ROOM_TEMPERATURE_C
+from ..sensors.environment import Environment
+from .scenario import Scenario
+
+
+def tail_mean(record: np.ndarray, fraction: float) -> float:
+    """Mean of the last ``fraction`` of a record (the settled tail)."""
+    record = np.asarray(record, dtype=np.float64)
+    start = int(record.size * (1.0 - fraction))
+    return float(np.mean(record[start:]))
+
+
+def startup_complete(platform) -> bool:
+    """Stop condition: the start-up sequencer reports RUNNING."""
+    return platform.conditioner.running
+
+
+def startup_scenario(temperature_c: float = ROOM_TEMPERATURE_C,
+                     max_duration_s: float = 1.5,
+                     chunk_s: float = 0.1) -> Scenario:
+    """Power-cycle and run until start-up completes (chunked early stop).
+
+    Exactly the loop :meth:`GyroPlatform.start` has always run: the
+    simulation proceeds in ``chunk_s`` slices and stops at the first
+    chunk boundary where the sequencer reports RUNNING, so a healthy
+    part does not pay for the full watchdog window; a part that never
+    starts raises :class:`SimulationError`.
+    """
+    return Scenario(
+        name=f"startup@{temperature_c:g}C",
+        environment=Environment.still(temperature_c),
+        duration_s=max_duration_s,
+        reset=True,
+        stop=startup_complete,
+        stop_check_s=chunk_s,
+        require_stop=True,
+        timeout_message=("conditioning chain failed to complete start-up "
+                         f"within {max_duration_s} s"),
+        extractors={
+            "turn_on_time_s": lambda p, r: r.turn_on_time_s,
+        })
+
+
+def settled_output_scenario(rate_dps: float,
+                            temperature_c: float = ROOM_TEMPERATURE_C,
+                            settle_s: float = 0.2,
+                            settle_fraction: float = 0.4,
+                            reset: bool = False,
+                            name: str = None) -> Scenario:
+    """Constant applied rate, measured over the settled tail.
+
+    Extractors mirror :meth:`GyroPlatform.measure_settled_output`:
+    ``raw_channel`` is the uncompensated sense-channel value read from
+    the chain state (heavily low-pass filtered, so the instantaneous
+    value represents the settled mean), ``rate_output_dps`` /
+    ``rate_output_v`` are tail means of the recorded outputs.
+    """
+    return Scenario(
+        name=name or f"settled[{rate_dps:+g}dps@{temperature_c:g}C]",
+        environment=Environment.constant_rate(rate_dps, temperature_c),
+        duration_s=settle_s,
+        reset=reset,
+        extractors={
+            "raw_channel":
+                lambda p, r: p.conditioner.sense_chain.rate_channel,
+            "rate_output_dps":
+                lambda p, r: tail_mean(r.rate_output_dps, settle_fraction),
+            "rate_output_v":
+                lambda p, r: tail_mean(r.rate_output_v, settle_fraction),
+        })
+
+
+def rate_table_scenarios(rates_dps: Sequence[float],
+                         temperature_c: float = ROOM_TEMPERATURE_C,
+                         settle_s: float = 0.2,
+                         settle_fraction: float = 0.4,
+                         reset: bool = False) -> List[Scenario]:
+    """One settled-output scenario per rate-table point.
+
+    This is the shared definition of a rate-table sweep: factory
+    calibration, the datasheet sensitivity measurement and the
+    baseline-device comparison all consume it, so every device is
+    characterised by the identical campaign (the baselines power-cycle
+    between points, ``reset=True``, since they have no start-up state to
+    preserve).
+    """
+    return [settled_output_scenario(float(rate), temperature_c, settle_s,
+                                    settle_fraction, reset=reset)
+            for rate in rates_dps]
+
+
+def noise_floor_scenario(temperature_c: float = ROOM_TEMPERATURE_C,
+                         duration_s: float = 1.5,
+                         band_hz: Tuple[float, float] = (2.0, 20.0),
+                         skip_fraction: float = 0.2,
+                         reset: bool = False) -> Scenario:
+    """Zero-rate record reduced to an in-band rate-noise density.
+
+    The first ``skip_fraction`` of the record is dropped to avoid any
+    residual settling transient, as the characterisation harness has
+    always done.
+    """
+    return Scenario(
+        name=f"noise-floor@{temperature_c:g}C",
+        environment=Environment.still(temperature_c),
+        duration_s=duration_s,
+        reset=reset,
+        extractors={
+            "noise_density": lambda p, r: noise_density_from_record(
+                r.rate_output_dps, r.sample_rate_hz, band_hz, skip_fraction),
+        })
+
+
+def noise_density_from_record(record: np.ndarray, sample_rate_hz: float,
+                              band_hz: Tuple[float, float],
+                              skip_fraction: float = 0.2) -> float:
+    """Band-averaged ASD of a zero-rate record, transient skipped."""
+    record = np.asarray(record, dtype=np.float64)
+    record = record[int(record.size * skip_fraction):]
+    return band_average_density(record, sample_rate_hz, band_hz)
+
+
+def bandwidth_probe_scenario(frequency_hz: float, amplitude_dps: float,
+                             cycles: float = 8.0,
+                             min_duration_s: float = 0.2,
+                             settle_fraction: float = 0.6) -> Scenario:
+    """Sinusoidal rate probe reduced to an output amplitude gain."""
+
+    def gain(p, r):
+        response = r.rate_output_dps[r.settled_slice(settle_fraction)]
+        return float(np.sqrt(2.0) * np.std(response)) / amplitude_dps
+
+    return Scenario(
+        name=f"bandwidth-probe[{frequency_hz:g}Hz]",
+        environment=Environment.sinusoidal_rate(amplitude_dps, frequency_hz),
+        duration_s=max(cycles / frequency_hz, min_duration_s),
+        extractors={"gain": gain})
+
+
+def design_validation_scenarios(probe_rate_dps: float = 100.0,
+                                duration_s: float = 0.7,
+                                settle_fraction: float = 0.6
+                                ) -> List[Scenario]:
+    """The DSE validation trio: at rest and at ±``probe_rate_dps``.
+
+    Each scenario power-cycles its lane and measures the settled tail —
+    exactly what the rate table does to a physical part.  The still
+    scenario additionally reports whether start-up completed and the
+    tail spread (the noise measurement).
+    """
+
+    def still_extractors():
+        return {
+            "turn_on_time_s": lambda p, r: r.turn_on_time_s,
+            "running_at_end": lambda p, r: bool(r.running[-1]),
+            "tail_mean_dps":
+                lambda p, r: tail_mean(r.rate_output_dps, settle_fraction),
+            "tail_std_dps": lambda p, r: float(
+                np.std(r.rate_output_dps[r.settled_slice(settle_fraction)])),
+        }
+
+    def probe(rate):
+        return Scenario(
+            name=f"dse-probe[{rate:+g}dps]",
+            environment=Environment.constant_rate(rate),
+            duration_s=duration_s,
+            reset=True,
+            extractors={
+                "tail_mean_dps":
+                    lambda p, r: tail_mean(r.rate_output_dps,
+                                           settle_fraction),
+            })
+
+    still = Scenario(
+        name="dse-still",
+        environment=Environment.still(),
+        duration_s=duration_s,
+        reset=True,
+        extractors=still_extractors())
+    return [still, probe(probe_rate_dps), probe(-probe_rate_dps)]

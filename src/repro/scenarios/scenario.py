@@ -1,0 +1,108 @@
+"""Declarative co-simulation scenarios.
+
+A :class:`Scenario` is a replayable description of one run: the applied
+environment, how long to simulate, whether to power-cycle first, an
+optional early-stop condition (checked on a fixed grid, the way the
+chunked start-up loop has always worked) and named metric extractors
+that turn the recorded traces and final platform state into numbers.
+
+Scenarios carry no engine choice and no platform reference — the same
+object can be replayed on the reference loop, the fused kernel or a
+batched fleet lane, and two replays from the same platform state are
+bit-identical.  The :class:`~repro.scenarios.campaign.Campaign` runner
+executes them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional
+
+from ..common.exceptions import ConfigurationError
+from ..platform.result import GyroSimulationResult
+from ..sensors.environment import Environment
+
+#: Signature of a stop condition: inspects the platform state after a
+#: chunk and returns True to end the scenario early.
+StopCondition = Callable[[object], bool]
+
+#: Signature of a metric extractor: ``fn(platform, result) -> value``
+#: evaluated once when the scenario completes, with the platform in its
+#: final state and the concatenated trace record.
+MetricExtractor = Callable[[object, GyroSimulationResult], float]
+
+
+@dataclass
+class Scenario:
+    """One declarative co-simulation run.
+
+    Attributes:
+        name: label used in results, error messages and reports.
+        environment: applied rate/temperature stimulus (time relative to
+            the scenario start).
+        duration_s: how long to simulate — an upper bound when a stop
+            condition is set.
+        reset: power-cycle the platform before running.
+        record_waveforms: record pick-off / drive-word waveforms.
+        stop: optional early-stop condition, evaluated on the
+            ``stop_check_s`` grid; the scenario ends at the first grid
+            point where it returns True.
+        stop_check_s: evaluation period of the stop condition (defaults
+            to ``duration_s``, i.e. a single check at the end).
+        require_stop: raise :class:`SimulationError` if the stop
+            condition never fired within ``duration_s``.
+        timeout_message: message for that error (a default naming the
+            scenario is used when omitted).
+        extractors: named metric extractors run on completion.
+    """
+
+    name: str
+    environment: Environment
+    duration_s: float
+    reset: bool = False
+    record_waveforms: bool = False
+    stop: Optional[StopCondition] = None
+    stop_check_s: Optional[float] = None
+    require_stop: bool = False
+    timeout_message: Optional[str] = None
+    extractors: Dict[str, MetricExtractor] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.duration_s <= 0:
+            raise ConfigurationError("scenario duration must be > 0")
+        if self.stop is None:
+            if self.require_stop:
+                raise ConfigurationError(
+                    "require_stop needs a stop condition")
+            if self.stop_check_s is not None:
+                raise ConfigurationError(
+                    "stop_check_s needs a stop condition")
+        elif self.stop_check_s is None:
+            self.stop_check_s = self.duration_s
+        elif not 0 < self.stop_check_s <= self.duration_s:
+            raise ConfigurationError(
+                "stop_check_s must be in (0, duration_s]")
+
+
+@dataclass
+class ScenarioOutcome:
+    """A completed scenario: its traces and extracted metrics.
+
+    Attributes:
+        scenario: the scenario that ran.
+        result: concatenated trace record of the whole scenario.
+        metrics: extractor outputs keyed by extractor name.
+        stopped_early: whether the stop condition ended the run before
+            ``duration_s`` elapsed.
+        elapsed_s: simulated time actually spent in the scenario.
+    """
+
+    scenario: Scenario
+    result: GyroSimulationResult
+    metrics: Dict[str, float]
+    stopped_early: bool
+    elapsed_s: float
+
+    @property
+    def name(self) -> str:
+        return self.scenario.name

@@ -156,6 +156,42 @@ class PiecewiseProfile(Profile):
 
 
 @dataclass
+class TimeShiftedProfile(Profile):
+    """A profile evaluated with a fixed time offset: ``base(t + offset_s)``.
+
+    Scenario campaigns slice one logical run into several engine calls
+    (early-stop checks, fleet chunking); each slice sees time relative
+    to its own start, so the remainder of a profile is exposed by
+    shifting its time axis.  Constant profiles never need shifting (the
+    campaign layer skips the wrapper), so replayed slices stay
+    bit-identical to one continuous run for piecewise-constant stimuli.
+    """
+
+    base: Profile = field(default_factory=ConstantProfile)
+    offset_s: float = 0.0
+
+    def value(self, t: float) -> float:
+        return self.base.value(t + self.offset_s)
+
+    def sample(self, t: np.ndarray) -> np.ndarray:
+        t = np.asarray(t, dtype=np.float64)
+        return self.base.sample(t + self.offset_s)
+
+
+def shift_profile(profile: Profile, offset_s: float) -> Profile:
+    """Return ``profile`` advanced by ``offset_s`` seconds.
+
+    Constant profiles are returned unchanged and nested shifts are
+    collapsed into a single offset.
+    """
+    if offset_s == 0.0 or isinstance(profile, ConstantProfile):
+        return profile
+    if isinstance(profile, TimeShiftedProfile):
+        return TimeShiftedProfile(profile.base, profile.offset_s + offset_s)
+    return TimeShiftedProfile(profile, offset_s)
+
+
+@dataclass
 class Environment:
     """Combined angular-rate and temperature stimulus.
 
@@ -183,6 +219,14 @@ class Environment:
         t = np.asarray(t, dtype=np.float64)
         return (np.asarray(self.rate_dps.sample(t), dtype=np.float64),
                 np.asarray(self.temperature_c.sample(t), dtype=np.float64))
+
+    def shifted(self, offset_s: float) -> "Environment":
+        """This environment with its time axis advanced by ``offset_s``."""
+        if offset_s < 0:
+            raise ConfigurationError("time shift must be >= 0")
+        return Environment(rate_dps=shift_profile(self.rate_dps, offset_s),
+                           temperature_c=shift_profile(self.temperature_c,
+                                                       offset_s))
 
     @classmethod
     def still(cls, temperature_c: float = ROOM_TEMPERATURE_C) -> "Environment":

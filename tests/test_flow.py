@@ -311,3 +311,53 @@ class TestSimulationBackedDse:
         assert live.responsive
         assert "measured noise" in live.summary()
         assert live.point is evaluated.point
+
+    def test_responsive_handles_nan_scale(self):
+        # regression: the old `x == x` check; nan scale means the
+        # measurement never produced a response, so not responsive
+        from repro.flow import SimulatedPoint
+
+        evaluated = evaluate_point(DesignPoint(12, 16, 2, 50.0))
+        nan_scale = SimulatedPoint(evaluated, float("nan"), float("nan"),
+                                   float("nan"), 0.4)
+        assert nan_scale.started
+        assert not nan_scale.responsive
+
+    def test_sweep_needs_candidates(self):
+        from repro.flow import sweep
+
+        with pytest.raises(ConfigurationError):
+            sweep(points=[])
+
+
+class TestSimulationBackedSweep:
+    """The full simulation-backed DSE sweep (heavyweight acceptance).
+
+    One sweep() call validates eight design points through the campaign
+    runner — packed into two batched fleets, one per vectorised-state
+    structure — and must keep reporting the known Q1.14 failure mode
+    honestly: with the 16-bit (Q1.14) datapath the order-4 output
+    filter's per-section quantisation wipes out the rate signal, so
+    those points come back started-but-unresponsive.
+    """
+
+    def test_sweep_validates_points_and_reports_q114_failure(self):
+        from repro.flow import sweep
+
+        points = [evaluate_point(DesignPoint(adc, 16, order, 50.0))
+                  for order in (2, 4) for adc in (8, 10, 12, 14)]
+        simulated = sweep(points=points)
+        assert len(simulated) == 8
+        by_order = {2: [], 4: []}
+        for sim in simulated:
+            assert sim.started, sim.summary()
+            by_order[sim.point.output_filter_order].append(sim)
+        # order-2 datapaths respond to rate...
+        for sim in by_order[2]:
+            assert sim.responsive, sim.summary()
+            assert sim.measured_scale_channel_per_dps != 0.0
+        # ...the Q1.14 order-4 output filter quantises the signal to zero
+        for sim in by_order[4]:
+            assert sim.responsive is False, sim.summary()
+            assert sim.measured_scale_channel_per_dps == 0.0
+            assert "quantisation" in sim.summary()

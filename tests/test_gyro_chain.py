@@ -260,6 +260,25 @@ class TestCalibrationMath:
         with pytest.raises(CalibrationError):
             fit_scale_factor([0.0, 1.0], [0.5, 0.5])
 
+    def test_select_reference_slope_prefers_room_temperature(self):
+        from repro.gyro import select_reference_slope
+
+        assert select_reference_slope((-40.0, 25.0, 85.0),
+                                      (2.0, 3.0, 4.0)) == 3.0
+        # sweep without the reference temperature: first slope wins
+        assert select_reference_slope((0.0, 60.0), (2.0, 4.0)) == 2.0
+
+    def test_select_reference_slope_rejects_zero(self):
+        # regression: the old `reference_slope or ratios[0]` fallback
+        # silently replaced a measured-zero reference slope
+        from repro.common.exceptions import CalibrationError
+        from repro.gyro import select_reference_slope
+
+        with pytest.raises(CalibrationError):
+            select_reference_slope((-40.0, 25.0, 85.0), (2.0, 0.0, 4.0))
+        with pytest.raises(CalibrationError):
+            select_reference_slope((25.0,), ())
+
     def test_fit_temperature_compensation(self):
         temps = [-40.0, 25.0, 85.0]
         offsets = [(-65.0) * 0.01, 0.0, 60.0 * 0.01]

@@ -1,0 +1,318 @@
+"""Tests for the scenario / campaign subsystem (``repro.scenarios``).
+
+The campaign runner promises that a scenario program replayed through
+any engine — reference loop, fused kernel or batched fleet lanes — from
+the same platform state produces bit-identical traces, metrics and
+final state, early-stop chunking included.  These tests hold it to
+that, lock the batched-vs-sequential calibration equivalence the
+refactor depends on, and cover the engine registry and the fleet-reuse
+path of ``run_batch``.
+"""
+
+import copy
+
+import numpy as np
+import pytest
+
+from repro.common import ConfigurationError, SimulationError
+from repro.platform import GyroPlatform, GyroPlatformConfig
+from repro.platform.result import concatenate_results
+from repro.scenarios import (
+    Campaign,
+    Scenario,
+    engine_names,
+    get_engine,
+    noise_floor_scenario,
+    rate_table_scenarios,
+    settled_output_scenario,
+    tail_mean,
+    validate_engine,
+)
+from repro.sensors import Environment
+from repro.sensors.environment import (
+    ConstantProfile,
+    RampProfile,
+    SineProfile,
+    TimeShiftedProfile,
+)
+
+TRACE_FIELDS = (
+    "time_s", "true_rate_dps", "temperature_c", "rate_output_dps",
+    "rate_output_v", "amplitude_control", "phase_error", "pll_locked",
+    "running",
+)
+
+
+def _assert_outcomes_identical(a, b):
+    assert a.name == b.name
+    assert a.stopped_early == b.stopped_early
+    assert a.elapsed_s == b.elapsed_s
+    for field in TRACE_FIELDS:
+        np.testing.assert_array_equal(getattr(a.result, field),
+                                      getattr(b.result, field),
+                                      err_msg=f"{a.name}:{field}")
+    assert a.metrics == b.metrics
+
+
+class TestEngineRegistry:
+    def test_registry_names(self):
+        assert set(engine_names()) == {"reference", "fused", "batched"}
+        assert set(engine_names(scalar_only=True)) == {"reference", "fused"}
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ConfigurationError):
+            get_engine("warp")
+        with pytest.raises(ConfigurationError):
+            validate_engine("warp")
+
+    def test_batched_rejected_where_scalar_required(self):
+        get_engine("batched")
+        with pytest.raises(ConfigurationError):
+            get_engine("batched", scalar_only=True)
+        with pytest.raises(ConfigurationError):
+            GyroPlatformConfig(engine="batched")
+        platform = GyroPlatform()
+        with pytest.raises(ConfigurationError):
+            platform.run(Environment.still(), 0.01, engine="batched")
+
+    def test_batched_spec_has_no_scalar_runner(self):
+        with pytest.raises(ConfigurationError):
+            get_engine("batched").run(GyroPlatform(), Environment.still(),
+                                      0.01)
+
+
+class TestScenarioValidation:
+    def test_duration_must_be_positive(self):
+        with pytest.raises(ConfigurationError):
+            Scenario("bad", Environment.still(), 0.0)
+
+    def test_stop_check_needs_stop(self):
+        with pytest.raises(ConfigurationError):
+            Scenario("bad", Environment.still(), 0.1, stop_check_s=0.05)
+        with pytest.raises(ConfigurationError):
+            Scenario("bad", Environment.still(), 0.1, require_stop=True)
+
+    def test_stop_check_range(self):
+        with pytest.raises(ConfigurationError):
+            Scenario("bad", Environment.still(), 0.1,
+                     stop=lambda p: True, stop_check_s=0.2)
+
+    def test_default_stop_check_is_duration(self):
+        scenario = Scenario("s", Environment.still(), 0.1,
+                            stop=lambda p: True)
+        assert scenario.stop_check_s == 0.1
+
+
+class TestCampaignValidation:
+    def test_needs_programs(self):
+        with pytest.raises(ConfigurationError):
+            Campaign([])
+        with pytest.raises(ConfigurationError):
+            Campaign([[]])
+        with pytest.raises(ConfigurationError):
+            Campaign(["not a scenario"])
+
+    def test_engine_validated_at_construction(self):
+        with pytest.raises(ConfigurationError):
+            Campaign([settled_output_scenario(0.0)], engine="warp")
+
+    def test_exactly_one_base(self):
+        campaign = Campaign([settled_output_scenario(0.0, settle_s=0.01)])
+        with pytest.raises(ConfigurationError):
+            campaign.run()
+        with pytest.raises(ConfigurationError):
+            campaign.run(GyroPlatform(), config=GyroPlatformConfig())
+
+    def test_mutate_requires_single_lane(self):
+        campaign = Campaign([settled_output_scenario(0.0, settle_s=0.01),
+                             settled_output_scenario(10.0, settle_s=0.01)])
+        with pytest.raises(ConfigurationError):
+            campaign.run(GyroPlatform(), mutate=True)
+
+    def test_platforms_count_must_match(self):
+        campaign = Campaign([settled_output_scenario(0.0, settle_s=0.01)])
+        with pytest.raises(ConfigurationError):
+            campaign.run(platforms=[GyroPlatform(), GyroPlatform()])
+
+
+def _locked(platform):
+    return platform.conditioner.drive_loop.pll.locked
+
+
+def _mixed_programs():
+    """A heterogeneous campaign: early stop, multi-scenario lane,
+    plain settled lane with a time-varying stimulus."""
+    lock = Scenario("lock-in", Environment.still(), 0.4,
+                    reset=True, stop=_locked, stop_check_s=0.05,
+                    require_stop=True,
+                    extractors={"now": lambda p, r: p.now})
+    after = settled_output_scenario(50.0, settle_s=0.07)
+    ramp = Scenario("ramp", Environment(
+        rate_dps=RampProfile(start=0.0, stop=80.0, t0=0.0, t1=0.1),
+        temperature_c=ConstantProfile(30.0)), 0.12,
+        extractors={"tail": lambda p, r: tail_mean(r.rate_output_dps, 0.5)})
+    return [[lock, after], [ramp]]
+
+
+class TestCampaignEquivalence:
+    def test_batched_matches_sequential_with_early_stop(self):
+        base = GyroPlatform()
+        campaign = Campaign(_mixed_programs())
+        batched = campaign.run(base, engine="batched")
+        fused = campaign.run(base, engine="fused")
+        reference = campaign.run(base, engine="reference")
+        for res in (fused, reference):
+            for lane_a, lane_b in zip(batched.lanes, res.lanes):
+                assert len(lane_a.outcomes) == len(lane_b.outcomes)
+                for a, b in zip(lane_a.outcomes, lane_b.outcomes):
+                    _assert_outcomes_identical(a, b)
+        # the early stop actually fired before the duration limit
+        lock = batched.outcome("lock-in")
+        assert lock.stopped_early
+        assert lock.elapsed_s < 0.4
+        # branching campaigns leave the base platform untouched
+        assert base.now == 0.0
+
+    def test_start_matches_legacy_chunked_loop(self):
+        a, b = GyroPlatform(), GyroPlatform()
+        res_new = a.start()
+        env = Environment.still(25.0)
+        segments = [b.run(env, 0.1, reset=True)]
+        while not b.conditioner.running and b.now < 1.5:
+            segments.append(b.run(env, 0.1))
+        assert b.conditioner.running
+        res_old = concatenate_results(segments)
+        for field in TRACE_FIELDS:
+            np.testing.assert_array_equal(getattr(res_new, field),
+                                          getattr(res_old, field),
+                                          err_msg=field)
+        assert res_new.turn_on_time_s == res_old.turn_on_time_s
+        assert a.now == b.now
+
+    def test_startup_timeout_raises(self):
+        platform = GyroPlatform()
+        with pytest.raises(SimulationError):
+            # far too short for the sequencer to reach RUNNING
+            platform.start(max_duration_s=0.05, chunk_s=0.05)
+
+    def test_waveforms_only_where_requested(self):
+        want = Scenario("wave", Environment.still(), 0.02, reset=True,
+                        record_waveforms=True)
+        plain = Scenario("plain", Environment.still(), 0.02, reset=True)
+        result = Campaign([want, plain]).run(GyroPlatform(),
+                                             engine="batched")
+        wave = result.outcome("wave").result
+        assert wave.primary_pickoff_norm is not None
+        assert wave.drive_word is not None
+        assert result.outcome("plain").result.primary_pickoff_norm is None
+
+    def test_metric_and_outcome_lookup(self):
+        campaign = Campaign(rate_table_scenarios((-50.0, 50.0),
+                                                 settle_s=0.02))
+        result = campaign.run(GyroPlatform(), engine="fused")
+        assert len(result.metric("raw_channel")) == 2
+        assert result.outcome("settled[+50dps@25C]").metrics["raw_channel"] \
+            == result.lanes[1].outcomes[0].metrics["raw_channel"]
+        with pytest.raises(ConfigurationError):
+            result.metric("bogus")
+        with pytest.raises(ConfigurationError):
+            result.outcome("bogus")
+
+
+class TestCalibrationEquivalence:
+    """ISSUE lock: batched calibration programs bit-identical words."""
+
+    def test_fleet_and_sequential_calibration_identical(self):
+        batched = GyroPlatform()
+        sequential = GyroPlatform()
+        batched.calibrate(settle_s=0.1)                    # fleet sweep
+        sequential.calibrate(settle_s=0.1, engine="fused")  # legacy loop
+        chain_b = batched.conditioner.sense_chain
+        chain_s = sequential.conditioner.sense_chain
+        assert chain_b.scaler.config == chain_s.scaler.config
+        assert chain_b.offset_comp.offset == chain_s.offset_comp.offset
+        assert batched.calibrated and sequential.calibrated
+
+    def test_temperature_calibration_identical(self):
+        base = GyroPlatform()
+        base.calibrate(settle_s=0.1, engine="fused")
+        other = copy.deepcopy(base)
+        base.calibrate_temperature(temperatures_c=(0.0, 25.0, 60.0),
+                                   settle_s=0.06)
+        other.calibrate_temperature(temperatures_c=(0.0, 25.0, 60.0),
+                                    settle_s=0.06, engine="fused")
+        assert (base.conditioner.sense_chain.temperature_comp.config
+                == other.conditioner.sense_chain.temperature_comp.config)
+
+
+class TestFleetReuse:
+    def test_run_batch_accepts_existing_fleet(self):
+        platform = GyroPlatform()
+        fleet = platform.make_fleet(2)
+        lanes = list(fleet.platforms)
+        envs = [Environment.still(), Environment.constant_rate(80.0)]
+        first = platform.run_batch(envs, 0.02, fleet=fleet)
+        # the same lane objects are reused, carrying their state forward
+        assert fleet.platforms == lanes
+        assert all(lane.now == pytest.approx(0.02) for lane in lanes)
+        second = platform.run_batch(envs, 0.02, fleet=fleet)
+        assert all(lane.now == pytest.approx(0.04) for lane in lanes)
+        # continuing the fleet is exactly one longer dedicated run
+        dedicated = GyroPlatform(copy.deepcopy(platform.config))
+        long = dedicated.run(envs[1], 0.04, engine="reference")
+        np.testing.assert_array_equal(
+            long.rate_output_dps,
+            np.concatenate([first[1].rate_output_dps,
+                            second[1].rate_output_dps]))
+
+    def test_run_batch_fleet_size_mismatch_rejected(self):
+        platform = GyroPlatform()
+        fleet = platform.make_fleet(2)
+        with pytest.raises(ConfigurationError):
+            platform.run_batch([Environment.still()], 0.01, fleet=fleet)
+
+    def test_make_fleet_validates_size(self):
+        with pytest.raises(ConfigurationError):
+            GyroPlatform().make_fleet(0)
+
+
+class TestTimeShiftedProfiles:
+    def test_shift_matches_offset_evaluation(self):
+        profile = SineProfile(amplitude=10.0, frequency_hz=3.0)
+        shifted = TimeShiftedProfile(profile, 0.25)
+        t = np.linspace(0.0, 0.5, 64)
+        np.testing.assert_array_equal(shifted.sample(t),
+                                      profile.sample(t + 0.25))
+        assert shifted.value(0.1) == profile.value(0.1 + 0.25)
+
+    def test_constant_profiles_not_wrapped(self):
+        env = Environment.still(30.0)
+        assert env.shifted(0.5).rate_dps is env.rate_dps
+        assert env.shifted(0.5).temperature_c is env.temperature_c
+
+    def test_nested_shifts_collapse(self):
+        env = Environment.sinusoidal_rate(5.0, 2.0)
+        twice = env.shifted(0.1).shifted(0.2)
+        assert isinstance(twice.rate_dps, TimeShiftedProfile)
+        assert twice.rate_dps.offset_s == pytest.approx(0.3)
+        assert not isinstance(twice.rate_dps.base, TimeShiftedProfile)
+
+    def test_negative_shift_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Environment.still().shifted(-0.1)
+
+
+class TestNoiseFloorScenario:
+    def test_matches_direct_measurement(self):
+        platform = GyroPlatform()
+        platform.start()
+        clone = copy.deepcopy(platform)
+        scenario = noise_floor_scenario(duration_s=0.8)
+        result = Campaign([scenario]).run(platform, mutate=True)
+        density = result.lanes[0].outcomes[0].metrics["noise_density"]
+        record = clone.run(Environment.still(), 0.8).rate_output_dps
+        from repro.scenarios import noise_density_from_record
+        expected = noise_density_from_record(
+            record, platform.config.sample_rate_hz /
+            platform.config.record_decimation, (2.0, 20.0))
+        assert density == expected
