@@ -2,7 +2,8 @@
 
 Times the three co-simulation paths on the same fixed workload — the
 Fig. 5 drive-loop locking scenario (sensor at rest from power-on) — plus
-the scenario-campaign orchestrator on a rate-table sweep, and writes
+the scenario-campaign orchestrator on a rate-table sweep, both in-process
+and through the sharded multi-process executor, and writes
 ``BENCH_engine.json`` at the repository root so the perf trajectory can
 be tracked across PRs.
 
@@ -79,16 +80,48 @@ def _time_campaign(lanes: int, duration_s: float) -> float:
     return best
 
 
+def _time_sharded(lanes: int, duration_s: float, workers: int) -> float:
+    """Time the same rate-table campaign through the sharded executor.
+
+    Includes everything sharding adds on top of the campaign row:
+    pickling lane programs and the base platform to the workers, worker
+    start-up, manifest bookkeeping and result-file round-trips.  Each
+    repeat gets a fresh manifest directory so nothing is resumed.
+    """
+    import shutil
+    import tempfile
+
+    rates = [(-200.0 + 400.0 * i / max(lanes - 1, 1)) for i in range(lanes)]
+    best = float("inf")
+    for _ in range(REPEATS):
+        platform = GyroPlatform(GyroPlatformConfig())
+        platform.start()
+        campaign = Campaign(rate_table_scenarios(rates, settle_s=duration_s),
+                            name="bench-rate-table")
+        manifest_dir = tempfile.mkdtemp(prefix="bench-sharded-")
+        try:
+            start = time.perf_counter()
+            campaign.run(platform, engine="batched", executor="sharded",
+                         workers=workers, manifest_dir=manifest_dir)
+            best = min(best, time.perf_counter() - start)
+        finally:
+            shutil.rmtree(manifest_dir, ignore_errors=True)
+    return best
+
+
 def build_report(duration_s: float = DURATION_S,
-                 lanes: int = BATCH_LANES) -> dict:
+                 lanes: int = BATCH_LANES,
+                 workers: int = None) -> dict:
     """Time the engines and the campaign layer; return the report dict."""
     fs = GyroPlatformConfig().sample_rate_hz
     n = int(round(duration_s * fs))
+    workers = workers or min(2, os.cpu_count() or 1)
 
     t_ref = _time_engine("reference", duration_s)
     t_fused = _time_engine("fused", duration_s)
     t_batch = _time_batch(lanes, duration_s)
     t_campaign = _time_campaign(lanes, duration_s)
+    t_sharded = _time_sharded(lanes, duration_s, workers)
 
     sps_ref = n / t_ref
     entries = []
@@ -96,7 +129,9 @@ def build_report(duration_s: float = DURATION_S,
                       ("fused", n / t_fused),
                       (f"batched[B={lanes}]", n * lanes / t_batch),
                       (f"campaign[rate-table B={lanes}]",
-                       n * lanes / t_campaign)):
+                       n * lanes / t_campaign),
+                      (f"sharded[{workers} workers, rate-table B={lanes}]",
+                       n * lanes / t_sharded)):
         entries.append({
             "path": path,
             "samples_per_sec": round(sps, 1),
@@ -104,10 +139,13 @@ def build_report(duration_s: float = DURATION_S,
         })
     return {
         "scenario": ("fig5 locking run: sensor at rest from power-on, "
-                     f"{duration_s} s @ {fs:.0f} Hz; campaign entry: "
-                     f"{lanes}-point rate-table sweep of the same length"),
+                     f"{duration_s} s @ {fs:.0f} Hz; campaign/sharded "
+                     f"entries: {lanes}-point rate-table sweep of the same "
+                     "length"),
         "samples": n,
         "batch_lanes": lanes,
+        "workers": workers,
+        "cpu_count": os.cpu_count(),
         "entries": entries,
     }
 
@@ -120,11 +158,14 @@ def main() -> None:
     parser.add_argument("--output", default=None,
                         help=f"report path (default {REPORT_PATH}; quick "
                              "runs are not written unless a path is given)")
+    parser.add_argument("--workers", type=int, default=None,
+                        help="worker processes for the sharded entry "
+                             "(default: min(2, cpu count))")
     args = parser.parse_args()
 
     duration = 0.1 if args.quick else DURATION_S
     lanes = 8 if args.quick else BATCH_LANES
-    report = build_report(duration, lanes)
+    report = build_report(duration, lanes, args.workers)
     # a --quick run measures a different scenario: never let it silently
     # overwrite the tracked perf-trajectory file
     output = args.output or (None if args.quick else REPORT_PATH)
@@ -136,7 +177,7 @@ def main() -> None:
     else:
         print("quick run (not written; pass --output to save)")
     for entry in report["entries"]:
-        print(f"  {entry['path']:<16s} {entry['samples_per_sec']:>12,.0f} "
+        print(f"  {entry['path']:<40s} {entry['samples_per_sec']:>12,.0f} "
               f"samples/s   {entry['speedup_vs_reference']:>6.2f}x")
 
 

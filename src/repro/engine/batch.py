@@ -113,14 +113,20 @@ class FleetSimulator:
     # -- operation ----------------------------------------------------------
 
     def run(self, environments: Union[Environment, Sequence[Environment]],
-            duration_s: float, reset: bool = False,
+            duration_s: Union[float, Sequence[float]], reset: bool = False,
             record_waveforms: bool = False) -> List[GyroSimulationResult]:
-        """Run every lane for ``duration_s`` seconds in lockstep.
+        """Run every lane in lockstep, each for its own duration.
 
         Args:
             environments: one :class:`Environment` per lane, or a single
                 environment applied to all lanes.
-            duration_s: how long to simulate.
+            duration_s: how long to simulate — a scalar applied to every
+                lane, or one duration per lane.  Lanes with shorter
+                durations *retire* at their own end instead of paying
+                for the longest lane: their state is frozen at the
+                retirement boundary and their noise generators stop
+                advancing, so each lane's traces and final state are
+                bit-identical to a standalone run of its own length.
             reset: power-cycle every lane before running.
             record_waveforms: record pick-off / drive-word waveforms.
 
@@ -128,7 +134,15 @@ class FleetSimulator:
             One :class:`GyroSimulationResult` per lane, bit-identical to
             per-platform reference runs.
         """
-        if duration_s <= 0:
+        if isinstance(duration_s, (int, float)):
+            durations = [float(duration_s)] * len(self.platforms)
+        else:
+            durations = [float(d) for d in duration_s]
+            if len(durations) != len(self.platforms):
+                raise ConfigurationError(
+                    f"got {len(durations)} durations for "
+                    f"{len(self.platforms)} fleet lanes")
+        if any(d <= 0 for d in durations):
             raise ConfigurationError("duration must be > 0")
         if isinstance(environments, Environment):
             environments = [environments] * len(self.platforms)
@@ -140,7 +154,7 @@ class FleetSimulator:
         if reset:
             for p in self.platforms:
                 p.reset()
-        return _run_batch(self.platforms, environments, duration_s,
+        return _run_batch(self.platforms, environments, durations,
                           record_waveforms)
 
 
@@ -149,14 +163,15 @@ def _lane_array(platforms, fn) -> np.ndarray:
     return np.array([fn(p) for p in platforms], dtype=np.float64)
 
 
-def _run_batch(platforms, environments, duration_s: float,
+def _run_batch(platforms, environments, durations_s: Sequence[float],
                record_waveforms: bool) -> List[GyroSimulationResult]:
     B = len(platforms)
     ref = platforms[0]
     cfg = ref.config
     fs = cfg.sample_rate_hz
     dt = 1.0 / fs
-    n = int(round(duration_s * fs))
+    n_lane = [int(round(d * fs)) for d in durations_s]
+    n = max(n_lane)
     dec = cfg.record_decimation
     n_rec = n // dec + 1
     start_times = _lane_array(platforms, lambda p: p._time_s)
@@ -453,9 +468,56 @@ def _run_batch(platforms, environments, duration_s: float,
     startup_active = bool(np.any(st_state != ST_RUNNING))
     sample_idx = 0
 
+    # ---- per-lane early exit ----------------------------------------------
+    # Lanes whose duration ends before the longest lane *retire*: their
+    # closed-loop state is snapshotted at the retirement boundary (the
+    # chunk grid is split so every retirement lands on a boundary) and
+    # restored before writeback, and their noise generators stop being
+    # consumed.  The lane's column keeps evolving with frozen stimulus —
+    # elementwise garbage that is discarded — so the lockstep loop needs
+    # no per-sample masking and live lanes are untouched bit-for-bit.
+    alive = [True] * B
+    retired_snaps = {}
+
+    def _snapshot(lane):
+        # current bindings of every loop-carried array, read at call time
+        return {
+            "x": x[lane], "xv": xv[lane], "y": y[lane], "yv": yv[lane],
+            "pga_p": pga_state2[lane], "pga_s": pga_state2[lane + B],
+            "aa1_p": aa1[lane], "aa1_s": aa1[lane + B],
+            "aa2_p": aa2[lane], "aa2_s": aa2[lane + B],
+            "pll_pd": pll_state2[lane], "pll_amp": pll_state2[lane + B],
+            "dm_i": demod_state2[lane], "dm_q": demod_state2[lane + B],
+            "pll_integ": pll_integ[lane], "phase_err": phase_err[lane],
+            "amplitude": amplitude[lane],
+            "lock_counter": lock_counter[lane], "locked": locked[lane],
+            "sin_ref": sin_ref[lane], "cos_ref": cos_ref[lane],
+            "nco_phase": nco_phase[lane], "tuning": tuning[lane],
+            "agc_integ": agc_integ[lane], "agc_gain": agc_gain[lane],
+            "agc_err": agc_err[lane], "drive_word": drive_word[lane],
+            "rate_channel": rate_channel[lane],
+            "quad_channel": quad_channel[lane],
+            "rate_dps": rate_dps_val[lane], "rate_word": rate_word[lane],
+            "reb_state": reb_state[lane], "reb_integ": reb_integ[lane],
+            "reb_cmd": reb_cmd[lane], "reb_residual": reb_residual[lane],
+            "st_state": st_state[lane], "st_settle": st_settle[lane],
+            "st_ready": st_ready[lane], "st_failed": st_failed[lane],
+            "drive_v": drive_v[lane], "control_v": control_v[lane],
+            "control_word": control_word[lane], "rdac_held": rdac_held[lane],
+            "out_z": [(sec[5][lane], sec[6][lane]) for sec in out_secs],
+            "quad_z": [(sec[5][lane], sec[6][lane]) for sec in quad_secs],
+        }
+
+    bounds = sorted(set(range(0, n, CHUNK_SAMPLES))
+                    | {ni for ni in n_lane if ni < n} | {n})
+
     # ---- chunked lockstep loop --------------------------------------------
-    for chunk_start in range(0, n, CHUNK_SAMPLES):
-        nc = min(CHUNK_SAMPLES, n - chunk_start)
+    for chunk_start, chunk_end in zip(bounds, bounds[1:]):
+        nc = chunk_end - chunk_start
+        for lane in range(B):
+            if alive[lane] and n_lane[lane] == chunk_start:
+                retired_snaps[lane] = _snapshot(lane)
+                alive[lane] = False
         t_arr = (np.arange(chunk_start, chunk_start + nc)) * dt
 
         # stimulus, drift and noise precompute, time-major (nc, B)
@@ -463,6 +525,11 @@ def _run_batch(platforms, environments, duration_s: float,
         temp_ch = np.empty((nc, B))
         events = {}
         for lane, env in enumerate(environments):
+            if not alive[lane]:
+                # frozen stimulus; the column's evolution is discarded
+                rate_ch[:, lane] = 0.0
+                temp_ch[:, lane] = 25.0
+                continue
             r_lane, t_lane = env.sample(t_arr)
             rate_ch[:, lane] = r_lane
             temp_ch[:, lane] = t_lane
@@ -502,6 +569,8 @@ def _run_batch(platforms, environments, duration_s: float,
         tcomp_off = np.zeros((nc, B))
         tcomp_sens = np.zeros((nc, B))
         for lane in range(B):
+            if not alive[lane]:
+                continue        # leaves off=0, sens=1: never trips the check
             acc = np.zeros(nc)
             for i, c in enumerate(tc_offset_polys[lane]):
                 acc = acc + c * dtm[:, lane] ** i
@@ -515,25 +584,30 @@ def _run_batch(platforms, environments, duration_s: float,
             raise ConfigurationError(
                 "sensitivity correction factor reached zero")
 
-        sens_noise = np.stack([s._noise.take(nc) for s in sensors], axis=1)
+        # retired lanes' generators must not advance: a later standalone
+        # run from the written-back platform state has to see the same
+        # noise stream a never-batched platform would
+        zeros_nc = np.zeros(nc)
+
+        def lane_noise(noises):
+            return np.stack([nz.take(nc) if alive[k] else zeros_nc
+                             for k, nz in enumerate(noises)], axis=1)
+
+        sens_noise = lane_noise([s._noise for s in sensors])
         # Coriolis rate input precompute: with no temperature events in the
         # chunk, offset_rate is constant, so the per-sample sum can be done
         # vectorised up front (same elementwise op order as the scalar path)
         eff_ch = ((rate_ch + offset_rate + sens_noise) * m_pi / 180.0
                   if not events else None)
         ca_noise2 = np.concatenate(
-            [np.stack([f.primary_charge_amp._noise.take(nc)
-                       for f in frontends], axis=1),
-             np.stack([f.secondary_charge_amp._noise.take(nc)
-                       for f in frontends], axis=1)], axis=1)
+            [lane_noise([f.primary_charge_amp._noise for f in frontends]),
+             lane_noise([f.secondary_charge_amp._noise for f in frontends])],
+            axis=1)
         pga_noise2 = np.concatenate(
-            [np.stack([f.primary_pga._noise.take(nc) for f in frontends],
-                      axis=1),
-             np.stack([f.secondary_pga._noise.take(nc) for f in frontends],
-                      axis=1)], axis=1)
+            [lane_noise([f.primary_pga._noise for f in frontends]),
+             lane_noise([f.secondary_pga._noise for f in frontends])], axis=1)
         adc_noise2 = np.concatenate(
-            [np.stack([nz.take(nc) for nz in adc_p["noise"]], axis=1),
-             np.stack([nz.take(nc) for nz in adc_s["noise"]], axis=1)], axis=1)
+            [lane_noise(adc_p["noise"]), lane_noise(adc_s["noise"])], axis=1)
 
         for j in range(nc):
             i = sample_idx
@@ -739,12 +813,54 @@ def _run_batch(platforms, environments, duration_s: float,
                     drive_tr[rec] = drive_word
                 rec += 1
 
+    # put retired lanes back to their retirement-boundary state before
+    # anything derived (overload, writeback) is computed from the arrays
+    for lane, snap in retired_snaps.items():
+        x[lane] = snap["x"]; xv[lane] = snap["xv"]
+        y[lane] = snap["y"]; yv[lane] = snap["yv"]
+        pga_state2[lane] = snap["pga_p"]; pga_state2[lane + B] = snap["pga_s"]
+        aa1[lane] = snap["aa1_p"]; aa1[lane + B] = snap["aa1_s"]
+        aa2[lane] = snap["aa2_p"]; aa2[lane + B] = snap["aa2_s"]
+        pll_state2[lane] = snap["pll_pd"]
+        pll_state2[lane + B] = snap["pll_amp"]
+        demod_state2[lane] = snap["dm_i"]; demod_state2[lane + B] = snap["dm_q"]
+        pll_integ[lane] = snap["pll_integ"]
+        phase_err[lane] = snap["phase_err"]
+        amplitude[lane] = snap["amplitude"]
+        lock_counter[lane] = snap["lock_counter"]
+        locked[lane] = snap["locked"]
+        sin_ref[lane] = snap["sin_ref"]; cos_ref[lane] = snap["cos_ref"]
+        nco_phase[lane] = snap["nco_phase"]; tuning[lane] = snap["tuning"]
+        agc_integ[lane] = snap["agc_integ"]
+        agc_gain[lane] = snap["agc_gain"]
+        agc_err[lane] = snap["agc_err"]
+        drive_word[lane] = snap["drive_word"]
+        rate_channel[lane] = snap["rate_channel"]
+        quad_channel[lane] = snap["quad_channel"]
+        rate_dps_val[lane] = snap["rate_dps"]
+        rate_word[lane] = snap["rate_word"]
+        reb_state[lane] = snap["reb_state"]
+        reb_integ[lane] = snap["reb_integ"]
+        reb_cmd[lane] = snap["reb_cmd"]
+        reb_residual[lane] = snap["reb_residual"]
+        st_state[lane] = snap["st_state"]
+        st_settle[lane] = snap["st_settle"]
+        st_ready[lane] = snap["st_ready"]
+        st_failed[lane] = snap["st_failed"]
+        drive_v[lane] = snap["drive_v"]; control_v[lane] = snap["control_v"]
+        control_word[lane] = snap["control_word"]
+        rdac_held[lane] = snap["rdac_held"]
+        for sec, (z1, z2) in zip(out_secs, snap["out_z"]):
+            sec[5][lane] = z1; sec[6][lane] = z2
+        for sec, (z1, z2) in zip(quad_secs, snap["quad_z"]):
+            sec[5][lane] = z1; sec[6][lane] = z2
+
     # the overload flag is only observable through the final register state,
     # so it is evaluated once from the last anti-alias outputs
     overload = (np.abs(aa2[:B]) >= ov_thr) | (np.abs(aa2[B:]) >= ov_thr)
     pd_state, amp_state = pll_state2[:B], pll_state2[B:]
     di_state, dq_state = demod_state2[:B], demod_state2[B:]
-    st_count = st_count0 + n
+    st_count = st_count0 + np.array(n_lane)
     pga_p_state, pga_s_state = pga_state2[:B], pga_state2[B:]
     aa_p1, aa_s1 = aa1[:B], aa1[B:]
     aa_p2, aa_s2 = aa2[:B], aa2[B:]
@@ -816,33 +932,36 @@ def _run_batch(platforms, environments, duration_s: float,
         st._ready_sample = None if st_ready[lane] < 0 else int(st_ready[lane])
         st._failed = bool(st_failed[lane])
 
-        conds[lane]._sample_count += n
+        conds[lane]._sample_count += n_lane[lane]
         conds[lane]._control_word = float(control_word[lane])
         conds[lane]._refresh_registers()
 
         platform._drive_v = float(drive_v[lane])
         platform._control_v = float(control_v[lane])
-        platform._time_s = float(start_times[lane]) + n * dt
+        platform._time_s = float(start_times[lane]) + n_lane[lane] * dt
 
     # ---- per-lane results --------------------------------------------------
+    # a retired lane's trace stops at its own retirement row; anything a
+    # longer lane recorded past that point in its column is garbage
     results = []
     for lane, platform in enumerate(platforms):
+        rl = (n_lane[lane] - 1) // dec + 1
         results.append(GyroSimulationResult(
-            time_s=time_tr[:rec, lane].copy(),
+            time_s=time_tr[:rl, lane].copy(),
             sample_rate_hz=fs / dec,
-            true_rate_dps=rate_tr[:rec, lane].copy(),
-            temperature_c=temp_tr[:rec, lane].copy(),
-            rate_output_dps=out_dps_tr[:rec, lane].copy(),
-            rate_output_v=out_v_tr[:rec, lane].copy(),
-            amplitude_control=agc_tr[:rec, lane].copy(),
-            amplitude_error=agc_err_tr[:rec, lane].copy(),
-            phase_error=perr_tr[:rec, lane].copy(),
-            vco_control=vco_tr[:rec, lane].copy(),
-            pll_locked=lock_tr[:rec, lane].copy(),
-            running=run_tr[:rec, lane].copy(),
-            primary_pickoff_norm=(pick_tr[:rec, lane].copy()
+            true_rate_dps=rate_tr[:rl, lane].copy(),
+            temperature_c=temp_tr[:rl, lane].copy(),
+            rate_output_dps=out_dps_tr[:rl, lane].copy(),
+            rate_output_v=out_v_tr[:rl, lane].copy(),
+            amplitude_control=agc_tr[:rl, lane].copy(),
+            amplitude_error=agc_err_tr[:rl, lane].copy(),
+            phase_error=perr_tr[:rl, lane].copy(),
+            vco_control=vco_tr[:rl, lane].copy(),
+            pll_locked=lock_tr[:rl, lane].copy(),
+            running=run_tr[:rl, lane].copy(),
+            primary_pickoff_norm=(pick_tr[:rl, lane].copy()
                                   if record_waveforms else None),
-            drive_word=(drive_tr[:rec, lane].copy()
+            drive_word=(drive_tr[:rl, lane].copy()
                         if record_waveforms else None),
             turn_on_time_s=platform.conditioner.startup.turn_on_time_s,
         ))

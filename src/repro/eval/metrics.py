@@ -132,14 +132,22 @@ class GyroCharacterization:
             pass ``"fused"`` to replay the same scenarios sequentially
             (bit-identical results, faster below ~12 concurrent lanes —
             see ``BENCH_engine.json``).
+        executor: campaign executor for those sweeps (``"local"``
+            in-process, ``"sharded"`` across worker processes);
+            bit-identical datasheets either way.
+        workers: worker-process count for the sharded executor.
     """
 
     def __init__(self, platform: GyroPlatform,
                  config: Optional[CharacterizationConfig] = None,
-                 engine: str = ENGINE_BATCHED):
+                 engine: str = ENGINE_BATCHED,
+                 executor: Optional[str] = None,
+                 workers: Optional[int] = None):
         self.platform = platform
         self.config = config or CharacterizationConfig()
         self.engine = engine
+        self.executor = executor
+        self.workers = workers
 
     # -- individual measurements -------------------------------------------------
 
@@ -159,7 +167,8 @@ class GyroCharacterization:
         sweep = Campaign(rate_table_scenarios(cfg.rate_points_dps,
                                               temperature_c, cfg.settle_s),
                          name="rate-table")
-        result = sweep.run(self.platform, engine=self.engine)
+        result = sweep.run(self.platform, engine=self.engine,
+                           executor=self.executor, workers=self.workers)
         volts = np.array([lane.outcomes[0].metrics["rate_output_v"]
                           for lane in result.lanes])
         dps = np.array([lane.outcomes[0].metrics["rate_output_dps"]
@@ -208,7 +217,8 @@ class GyroCharacterization:
                                                     cfg.bandwidth_cycles)
                            for freq in freqs],
                           name="bandwidth-probes")
-        result = probes.run(self.platform, engine=self.engine)
+        result = probes.run(self.platform, engine=self.engine,
+                            executor=self.executor, workers=self.workers)
         gains = np.array([lane.outcomes[0].metrics["gain"]
                           for lane in result.lanes])
         return three_db_bandwidth(freqs, gains)

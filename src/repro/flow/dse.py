@@ -314,7 +314,9 @@ def sweep(config: Optional[DseConfig] = None,
           duration_s: float = 0.7, probe_rate_dps: float = 100.0,
           settle_fraction: float = 0.6,
           min_points: int = 8,
-          max_points: Optional[int] = None) -> List[SimulatedPoint]:
+          max_points: Optional[int] = None,
+          executor: Optional[str] = None,
+          workers: Optional[int] = None) -> List[SimulatedPoint]:
     """Full simulation-backed DSE sweep over the Pareto front.
 
     Explores the analytic design space, takes the noise-vs-gates Pareto
@@ -332,6 +334,11 @@ def sweep(config: Optional[DseConfig] = None,
         min_points: top up the front to at least this many candidates.
         max_points: cap the number of candidates (lowest noise first),
             for quick looks at large fronts.
+        executor: campaign executor for the validation campaigns
+            (``"local"`` in-process, ``"sharded"`` across worker
+            processes with a resumable manifest); metrics are
+            bit-identical either way.
+        workers: worker-process count for the sharded executor.
 
     Returns:
         One :class:`SimulatedPoint` per candidate, in candidate order —
@@ -373,7 +380,8 @@ def sweep(config: Optional[DseConfig] = None,
             platforms.extend(_platforms_for_config(point_config,
                                                    len(scenarios)))
         campaign = Campaign(programs, engine="batched", name="dse-sweep")
-        result = campaign.run(platforms=platforms)
+        result = campaign.run(platforms=platforms, executor=executor,
+                              workers=workers)
         for slot, index in enumerate(indices):
             still, pos, neg = [lane.outcomes[0] for lane in
                                result.lanes[3 * slot:3 * slot + 3]]

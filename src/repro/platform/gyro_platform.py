@@ -12,8 +12,9 @@ This is the object the evaluation harness and the benchmarks drive.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -122,32 +123,96 @@ class GyroPlatform:
 
     # -- co-simulation -----------------------------------------------------------
 
-    def run(self, environment: Environment, duration_s: float,
-            reset: bool = False, record_waveforms: bool = False,
-            engine: Optional[str] = None) -> GyroSimulationResult:
+    def run(self, environment: "Union[Environment, Sequence[Environment]]",
+            duration_s: float, reset: bool = False,
+            record_waveforms: bool = False, engine: Optional[str] = None,
+            *, executor: Optional[str] = None, workers: Optional[int] = None,
+            fleet: "Optional[FleetSimulator]" = None
+            ) -> "Union[GyroSimulationResult, List[GyroSimulationResult]]":
         """Run the co-simulation for ``duration_s`` seconds.
+
+        This is the one run entry point: a single
+        :class:`~repro.sensors.environment.Environment` simulates this
+        platform in-process and returns one result; a *sequence* of
+        environments simulates one deep-copied clone per environment (the
+        platform itself is not advanced) and returns one result per
+        environment — in NumPy lockstep by default, optionally fanned out
+        over worker processes.  Every combination produces bit-identical
+        traces.
 
         Args:
             environment: applied rate and temperature profiles (time is
-                relative to the platform's current simulation time).
+                relative to the platform's current simulation time), or a
+                sequence of them — one clone lane each.
             duration_s: how long to simulate.
-            reset: power-cycle the platform before running.
+            reset: power-cycle the platform (or the clone lanes) before
+                running.
             record_waveforms: additionally record the primary pick-off and
                 drive-word waveforms (memory-hungry; used by the figure
                 benches).
-            engine: override the configured simulation engine for this
-                run (``"fused"`` or ``"reference"``); both produce
-                bit-identical traces and platform state.
+            engine: override the simulation engine for this run
+                (:func:`~repro.scenarios.engines.engine_names`).  Single
+                environments accept the scalar engines (``"fused"``,
+                ``"reference"``); sequences default to ``"batched"``
+                lockstep and accept a scalar engine to replay the lanes
+                sequentially instead.  All engines produce bit-identical
+                traces and platform state.
+            executor: for sequences —
+                :func:`~repro.scenarios.executor.executor_names`;
+                ``"local"`` (default) runs in the calling process,
+                ``"sharded"`` partitions the lanes across worker
+                processes.  Defaults to ``"sharded"`` when ``workers``
+                is given.
+            workers: worker-process count for the sharded executor.
+            fleet: an existing fleet (e.g. from :meth:`make_fleet`) to
+                run instead of cloning this platform — its lanes carry
+                their state from run to run, so it cannot be combined
+                with the sharded executor (which advances worker-side
+                copies).
 
         Returns:
-            A :class:`GyroSimulationResult` with the recorded traces.
+            A :class:`GyroSimulationResult` for a single environment, or
+            a list with one result per environment.
         """
         if duration_s <= 0:
             raise SimulationError("duration must be > 0")
-        spec = get_engine(engine or self.config.engine, scalar_only=True)
-        if reset:
-            self.reset()
-        return spec.run(self, environment, duration_s, record_waveforms)
+        if isinstance(environment, Environment) and fleet is None:
+            if workers not in (None, 1) or executor not in (None, "local"):
+                raise ConfigurationError(
+                    "a single environment runs in-process; pass a sequence "
+                    "of environments to fan lanes out over workers")
+            spec = get_engine(engine or self.config.engine, scalar_only=True)
+            if reset:
+                self.reset()
+            return spec.run(self, environment, duration_s, record_waveforms)
+        if fleet is not None:
+            if workers not in (None, 1) or executor not in (None, "local"):
+                raise ConfigurationError(
+                    "an existing fleet carries caller-owned lane state and "
+                    "cannot cross process boundaries; drop fleet= to use "
+                    "the sharded executor")
+            if (not isinstance(environment, Environment)
+                    and len(environment) != len(fleet)):
+                raise ConfigurationError(
+                    f"got {len(environment)} environments for "
+                    f"{len(fleet)} fleet lanes")
+            return fleet.run(environment, duration_s, reset=reset,
+                             record_waveforms=record_waveforms)
+        from ..scenarios.campaign import Campaign
+        from ..scenarios.scenario import Scenario
+
+        environments = list(environment)
+        if not environments:
+            raise ConfigurationError(
+                "a sequence of environments must not be empty")
+        programs = [Scenario(name=f"run[{i}]", environment=env,
+                             duration_s=duration_s, reset=reset,
+                             record_waveforms=record_waveforms)
+                    for i, env in enumerate(environments)]
+        result = Campaign(programs, name="platform-run").run(
+            self, engine=engine or ENGINE_BATCHED, executor=executor,
+            workers=workers)
+        return [lane.outcomes[0].result for lane in result.lanes]
 
     def _run_reference(self, environment: Environment, duration_s: float,
                        record_waveforms: bool = False) -> GyroSimulationResult:
@@ -263,39 +328,24 @@ class GyroPlatform:
                   record_waveforms: bool = False,
                   fleet: "Optional[FleetSimulator]" = None
                   ) -> "List[GyroSimulationResult]":
-        """Simulate one scenario per environment in NumPy lockstep.
+        """Deprecated alias for :meth:`run` with a sequence of environments.
 
-        Deep-copies this platform into one independent clone per
-        environment (see :meth:`make_fleet`) and steps the clones
-        together through the batched engine, amortising the Python
-        interpreter cost across the whole fleet.  Returns one
-        :class:`GyroSimulationResult` per environment, each bit-identical
-        to what this platform would have produced running that scenario
-        alone with the reference (or fused) engine.  This platform
-        itself is not advanced; pass ``reset=True`` to power-cycle the
-        clones instead of continuing from the current state.
-
-        Args:
-            fleet: an existing fleet (e.g. from :meth:`make_fleet`) to
-                run instead of cloning this platform again — its lanes
-                carry their state from run to run.
-
-        Use :class:`repro.engine.FleetSimulator` directly for
-        heterogeneous fleets (per-device mismatch, Monte Carlo runs).
+        .. deprecated::
+            ``run`` now accepts a sequence of environments directly (plus
+            ``engine=``, ``executor=``, ``workers=`` and ``fleet=``) and
+            returns the same bit-identical per-environment results; this
+            shim forwards to it.
         """
-        if fleet is None:
-            if isinstance(environments, Environment):
-                raise ConfigurationError(
-                    "a single environment does not define the fleet size; "
-                    "pass a sequence of environments or an explicit fleet")
-            fleet = self.make_fleet(len(environments))
-        elif (not isinstance(environments, Environment)
-              and len(environments) != len(fleet)):
+        warnings.warn(
+            "GyroPlatform.run_batch is deprecated; call run() with a "
+            "sequence of environments instead",
+            DeprecationWarning, stacklevel=2)
+        if isinstance(environments, Environment) and fleet is None:
             raise ConfigurationError(
-                f"got {len(environments)} environments for "
-                f"{len(fleet)} fleet lanes")
-        return fleet.run(environments, duration_s, reset=reset,
-                         record_waveforms=record_waveforms)
+                "a single environment does not define the fleet size; "
+                "pass a sequence of environments or an explicit fleet")
+        return self.run(environments, duration_s, reset=reset,
+                        record_waveforms=record_waveforms, fleet=fleet)
 
     # -- start-up and calibration -------------------------------------------------
 
@@ -338,7 +388,9 @@ class GyroPlatform:
     def calibrate(self, rates_dps: Sequence[float] = (-200.0, 0.0, 200.0),
                   temperature_c: float = ROOM_TEMPERATURE_C,
                   settle_s: float = 0.25,
-                  engine: str = ENGINE_BATCHED) -> None:
+                  engine: str = ENGINE_BATCHED,
+                  executor: Optional[str] = None,
+                  workers: Optional[int] = None) -> None:
         """Factory calibration of scale factor and zero-rate offset.
 
         Runs start-up on this platform, then measures every calibration
@@ -352,6 +404,10 @@ class GyroPlatform:
                 engines replay the same scenarios sequentially and
                 program bit-identical calibration words (locked by
                 ``tests/test_scenarios.py``).
+            executor: campaign executor for the rate sweep; the
+                ``"sharded"`` executor programs bit-identical
+                calibration words from worker processes.
+            workers: worker-process count for the sharded executor.
         """
         from ..scenarios.campaign import Campaign
         from ..scenarios.library import rate_table_scenarios
@@ -360,7 +416,8 @@ class GyroPlatform:
         sweep = Campaign(rate_table_scenarios(rates_dps, temperature_c,
                                               settle_s),
                          name="calibration-sweep")
-        result = sweep.run(self, engine=engine)
+        result = sweep.run(self, engine=engine, executor=executor,
+                           workers=workers)
         channels = [lane.outcomes[0].metrics["raw_channel"]
                     for lane in result.lanes]
         calibration = fit_scale_factor(rates_dps, channels)
@@ -372,7 +429,9 @@ class GyroPlatform:
                               temperatures_c: Sequence[float] = (-40.0, 25.0, 85.0),
                               probe_rate_dps: float = 100.0,
                               settle_s: float = 0.25,
-                              engine: str = ENGINE_BATCHED) -> None:
+                              engine: str = ENGINE_BATCHED,
+                              executor: Optional[str] = None,
+                              workers: Optional[int] = None) -> None:
         """Fit and install temperature-compensation polynomials.
 
         Each temperature leg is one lane program — restart at the
@@ -396,7 +455,7 @@ class GyroPlatform:
                                              name=f"probe@{temp:g}C")]
                     for temp in temperatures_c]
         result = Campaign(programs, name="temperature-calibration").run(
-            self, engine=engine)
+            self, engine=engine, executor=executor, workers=workers)
         offsets = []
         slopes = []
         for lane in result.lanes:

@@ -100,6 +100,44 @@ class GyroSimulationResult:
             "turn_on_time_s": self.turn_on_time_s if self.turn_on_time_s is not None else float("nan"),
         }
 
+    # -- serialisation ------------------------------------------------------
+
+    _FLOAT_TRACES = ("time_s", "true_rate_dps", "temperature_c",
+                     "rate_output_dps", "rate_output_v", "amplitude_control",
+                     "amplitude_error", "phase_error", "vco_control")
+    _BOOL_TRACES = ("pll_locked", "running")
+
+    def to_dict(self) -> dict:
+        """JSON-compatible dict; :meth:`from_dict` restores it exactly.
+
+        Float traces round-trip losslessly: Python floats keep full
+        binary64 precision through ``json`` (repr round-trips), and
+        :meth:`from_dict` rebuilds the float64/bool arrays.
+        """
+        out = {"sample_rate_hz": self.sample_rate_hz,
+               "turn_on_time_s": self.turn_on_time_s}
+        for name in self._FLOAT_TRACES + self._BOOL_TRACES:
+            out[name] = getattr(self, name).tolist()
+        for name in ("primary_pickoff_norm", "drive_word"):
+            arr = getattr(self, name)
+            out[name] = None if arr is None else arr.tolist()
+        return out
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "GyroSimulationResult":
+        """Rebuild a result from :meth:`to_dict` output, bit-exact."""
+        kwargs = {"sample_rate_hz": data["sample_rate_hz"],
+                  "turn_on_time_s": data.get("turn_on_time_s")}
+        for name in cls._FLOAT_TRACES:
+            kwargs[name] = np.asarray(data[name], dtype=np.float64)
+        for name in cls._BOOL_TRACES:
+            kwargs[name] = np.asarray(data[name], dtype=bool)
+        for name in ("primary_pickoff_norm", "drive_word"):
+            value = data.get(name)
+            kwargs[name] = (None if value is None
+                            else np.asarray(value, dtype=np.float64))
+        return cls(**kwargs)
+
 
 def concatenate_results(results: Sequence["GyroSimulationResult"]
                         ) -> "GyroSimulationResult":

@@ -5,7 +5,10 @@ temperature calibration, datasheet characterisation, simulation-backed
 DSE, the examples and the benchmarks — is expressed as
 :class:`Scenario` objects executed by a :class:`Campaign`, which packs
 lanes into the batched fleet engine (or replays them sequentially on
-the scalar engines) with identical, bit-exact results.
+the scalar engines) with identical, bit-exact results.  Two orthogonal
+registries pick the run mechanics: *engines* (how a platform is
+stepped) and *executors* (where the lanes run — in-process or sharded
+across worker processes with a resumable batch manifest).
 """
 
 from .engines import (
@@ -20,7 +23,24 @@ from .engines import (
 )
 from .scenario import Scenario, ScenarioOutcome
 from .campaign import Campaign, CampaignResult, LaneOutcome
+from .executor import (
+    EXECUTOR_LOCAL,
+    EXECUTOR_SHARDED,
+    ExecutorSpec,
+    executor_names,
+    get_executor,
+    register_executor,
+    validate_executor,
+)
+from .manifest import CampaignManifest, ShardRecord
 from .library import (
+    NoiseDensity,
+    RawRateChannel,
+    RunningAtEnd,
+    SineResponseGain,
+    TraceTailMean,
+    TraceTailStd,
+    TurnOnTime,
     bandwidth_probe_scenario,
     design_validation_scenarios,
     noise_density_from_record,
@@ -41,11 +61,27 @@ __all__ = [
     "get_engine",
     "register_engine",
     "validate_engine",
+    "EXECUTOR_LOCAL",
+    "EXECUTOR_SHARDED",
+    "ExecutorSpec",
+    "executor_names",
+    "get_executor",
+    "register_executor",
+    "validate_executor",
+    "CampaignManifest",
+    "ShardRecord",
     "Scenario",
     "ScenarioOutcome",
     "Campaign",
     "CampaignResult",
     "LaneOutcome",
+    "NoiseDensity",
+    "RawRateChannel",
+    "RunningAtEnd",
+    "SineResponseGain",
+    "TraceTailMean",
+    "TraceTailStd",
+    "TurnOnTime",
     "bandwidth_probe_scenario",
     "design_validation_scenarios",
     "noise_density_from_record",

@@ -6,33 +6,33 @@ them on any registered engine.  With a scalar engine the lanes run one
 after another; with the ``"batched"`` engine the lanes are packed into
 :class:`~repro.engine.batch.FleetSimulator` lockstep automatically.
 
-Either way the campaign advances in *chunks*: each chunk ends at the
-nearest upcoming boundary of any active lane (a stop-condition check
-point or a scenario end), so early-stop conditions — "start-up
-completed" — work in batch exactly like the platform's chunked
-``start()`` loop always has, and lanes whose programs finish early
-simply drop out of the fleet.  Because consecutive engine runs compose
-exactly into one continuous simulation, the chunking is invisible: a
-scenario replayed through any engine, in any fleet packing, from the
-same platform state produces bit-identical traces and metrics (for
-time-varying stimulus profiles this additionally requires the same
-chunk boundaries, which the sequential and batched paths share by
-construction).
+Either way the campaign advances in *chunks*: every round, each lane
+steps to its own next boundary — a stop-condition check point or a
+scenario end — so early-stop conditions ("start-up completed") work in
+batch exactly like the platform's chunked ``start()`` loop always has,
+and lanes whose programs finish early simply drop out of the fleet.  A
+lane is never chopped at a *foreign* lane's boundary: shorter lanes
+retire inside the batched engine call (per-lane early exit) while the
+longer ones run on.  A lane's chunk sequence is therefore a pure
+function of its own program, and because consecutive engine runs
+compose exactly into one continuous simulation, the chunking is
+invisible: a scenario program replayed through any engine, in any fleet
+packing, on any executor's shard partition, from the same platform
+state produces bit-identical traces and metrics.
 
-One recording caveat: each engine call restarts the trace-decimation
-grid, so when a lane is interrupted at a chunk boundary that is not a
-multiple of ``record_decimation`` samples (possible only when another
-fleet lane's scenario ends off-grid), the stitched record gains a few
-closer-spaced points at the join.  Platform state and metrics read from
-state are unaffected, and the standard library scenarios use durations
-that land on the grid; keep scenario durations and stop-check intervals
-multiples of ``record_decimation / sample_rate_hz`` when trace
-uniformity matters (PSD-based extractors).
+One recording caveat: each engine call restarts the lane's
+trace-decimation grid at its own boundaries (stop checks and scenario
+ends), so a stop-check interval that is not a multiple of
+``record_decimation`` samples leaves a few closer-spaced points at each
+join.  Platform state and metrics read from state are unaffected, and
+the standard library scenarios use durations that land on the grid;
+keep scenario durations and stop-check intervals multiples of
+``record_decimation / sample_rate_hz`` when trace uniformity matters
+(PSD-based extractors).
 """
 
 from __future__ import annotations
 
-import copy
 import dataclasses
 from typing import List, Optional, Sequence, Union
 
@@ -65,6 +65,22 @@ class LaneOutcome:
                 return outcome
         raise ConfigurationError(
             f"lane has no outcome for scenario {name!r}")
+
+    def to_dict(self) -> dict:
+        """JSON-compatible dict of the lane's outcomes.
+
+        The platform is not serialised (it is a full mixed-signal model;
+        use pickle when the final platform state must travel too), so
+        :meth:`from_dict` restores ``platform=None``.
+        """
+        return {"outcomes": [o.to_dict() for o in self.outcomes]}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "LaneOutcome":
+        """Rebuild a lane outcome (with ``platform=None``)."""
+        return cls(platform=None,
+                   outcomes=[ScenarioOutcome.from_dict(o)
+                             for o in data["outcomes"]])
 
 
 class CampaignResult:
@@ -99,6 +115,15 @@ class CampaignResult:
             raise ConfigurationError(
                 f"no scenario extracted a metric called {name!r}")
         return values
+
+    def to_dict(self) -> dict:
+        """JSON-compatible dict; see :meth:`LaneOutcome.to_dict`."""
+        return {"lanes": [lane.to_dict() for lane in self.lanes]}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "CampaignResult":
+        """Rebuild a campaign result (lane platforms become ``None``)."""
+        return cls([LaneOutcome.from_dict(lane) for lane in data["lanes"]])
 
 
 class _LaneState:
@@ -221,8 +246,12 @@ class Campaign:
     # -- execution ----------------------------------------------------------
 
     def run(self, platform=None, *, platforms=None, config=None,
-            engine: Optional[str] = None, mutate: bool = False
-            ) -> CampaignResult:
+            engine: Optional[str] = None, executor: Optional[str] = None,
+            workers: Optional[int] = None, mutate: bool = False,
+            manifest_dir=None, max_retries: int = 2,
+            shard_timeout_s: Optional[float] = None,
+            shard_size: Optional[int] = None,
+            fault_hook=None) -> CampaignResult:
         """Execute every lane program and return the per-lane outcomes.
 
         Exactly one base must be given:
@@ -235,69 +264,96 @@ class Campaign:
           measurements work.
         * ``platforms`` — one pre-built platform per lane, advanced in
           place; reuse them across campaigns to avoid per-run deep
-          copies.
+          copies.  (The ``"sharded"`` executor advances worker-side
+          copies instead; read final state from the lane outcomes.)
         * ``config`` — each lane gets a fresh platform built from its
           own deep copy of the configuration.
 
         Args:
-            engine: override the campaign's engine for this run.
+            engine: override the campaign's engine for this run
+                (:func:`~repro.scenarios.engines.engine_names`).
+            executor: execution backend
+                (:func:`~repro.scenarios.executor.executor_names`) —
+                ``"local"`` runs in-process, ``"sharded"`` partitions
+                the lanes across worker processes with a resumable
+                batch manifest.  Defaults to ``"sharded"`` when
+                ``workers`` is given, else ``"local"``.
+            workers: worker-process count for the sharded executor.
+            mutate: run a single-lane campaign directly on ``platform``.
+            manifest_dir: sharded only — directory for the batch
+                manifest and shard results; reuse a previous run's
+                directory to resume it.  Defaults to a fresh temp dir.
+            max_retries: sharded only — re-runs allowed per failed
+                shard.
+            shard_timeout_s: sharded only — wall-clock budget per shard
+                attempt.
+            shard_size: sharded only — lanes per shard (default spreads
+                the lanes evenly over ``workers``).
+            fault_hook: sharded only — picklable callable invoked in
+                each worker before its shard runs (fault-injection
+                testing).
         """
-        lanes = self._resolve_lanes(platform, platforms, config, mutate)
+        from .executor import ExecutorOptions, LaneSource, get_executor
+        source = LaneSource.resolve(platform, platforms, config, mutate,
+                                    len(self.programs))
         engine = engine or self.engine
         if engine is None:
-            engine = (ENGINE_BATCHED if len(lanes) > 1
-                      else lanes[0].config.engine)
-        spec = get_engine(engine)
-        fs = lanes[0].config.sample_rate_hz
-        states = [_LaneState(p, program, fs)
-                  for p, program in zip(lanes, self.programs)]
-        for state in states:
-            state.begin_next_scenario()
-        active = [s for s in states if not s.done]
-        while active:
-            step = min(state.samples_to_boundary() for state in active)
-            duration = step / fs
-            environments = [state.environment() for state in active]
-            record = any(state.scenario.record_waveforms for state in active)
-            if spec.batched:
-                from ..engine.batch import FleetSimulator
-                fleet = FleetSimulator([state.platform for state in active])
-                results = fleet.run(environments, duration,
-                                    record_waveforms=record)
-            else:
-                results = [spec.run(state.platform, env, duration,
-                                    state.scenario.record_waveforms)
-                           for state, env in zip(active, environments)]
-            for state, result in zip(active, results):
-                state.advance(step, result)
-            active = [s for s in active if not s.done]
-        return CampaignResult([LaneOutcome(s.platform, s.outcomes)
-                               for s in states])
+            # resolved against the whole campaign before any sharding, so
+            # a one-lane shard still runs the engine the full campaign
+            # would have picked (bit-identity across executors)
+            engine = (ENGINE_BATCHED if len(self.programs) > 1
+                      else source.default_engine())
+        get_engine(engine)
+        if executor is None:
+            executor = "sharded" if workers else "local"
+        options = ExecutorOptions(workers=workers, manifest_dir=manifest_dir,
+                                  max_retries=max_retries,
+                                  shard_timeout_s=shard_timeout_s,
+                                  shard_size=shard_size,
+                                  fault_hook=fault_hook)
+        return get_executor(executor).runner(self, source, engine, options)
 
-    def _resolve_lanes(self, platform, platforms, config, mutate) -> list:
-        given = [x is not None for x in (platform, platforms, config)]
-        if sum(given) != 1:
-            raise ConfigurationError(
-                "give exactly one of platform, platforms or config")
-        n = len(self.programs)
-        if platforms is not None:
-            if mutate:
-                raise ConfigurationError(
-                    "mutate only applies when branching from one platform")
-            platforms = list(platforms)
-            if len(platforms) != n:
-                raise ConfigurationError(
-                    f"got {len(platforms)} platforms for {n} lanes")
-            return platforms
-        if config is not None:
-            if mutate:
-                raise ConfigurationError(
-                    "mutate only applies when branching from one platform")
-            from ..platform.gyro_platform import GyroPlatform
-            return [GyroPlatform(copy.deepcopy(config)) for _ in range(n)]
-        if mutate:
-            if n != 1:
-                raise ConfigurationError(
-                    "mutate=True requires a single-lane campaign")
-            return [platform]
-        return [copy.deepcopy(platform) for _ in range(n)]
+
+def _execute_lanes(programs: Sequence[Sequence[Scenario]], lanes: Sequence,
+                   engine: str) -> List[LaneOutcome]:
+    """Run lane programs on pre-built platforms with one engine.
+
+    This is the campaign core loop, shared by every executor: the
+    ``"local"`` executor calls it with all lanes in-process and the
+    ``"sharded"`` executor calls it inside each worker with that shard's
+    slice of the lanes.  Chunking policy: every round, each lane steps
+    to its *own* next boundary — its next stop-condition check or
+    scenario end, never a foreign lane's.  Inside a batched engine call
+    the shorter lanes retire at their boundary (per-lane early exit in
+    :meth:`~repro.engine.batch.FleetSimulator.run`) while the longer
+    lanes run on, so a lane's step sequence is a pure function of its
+    own program and its own stop outcomes.  That is what makes the
+    traces invariant to packing: sequential replay, any fleet grouping
+    and any shard partition all advance each lane through identical
+    engine-call boundaries, hence bit-identical results.
+    """
+    spec = get_engine(engine)
+    fs = lanes[0].config.sample_rate_hz
+    states = [_LaneState(p, program, fs)
+              for p, program in zip(lanes, programs)]
+    for state in states:
+        state.begin_next_scenario()
+    active = [s for s in states if not s.done]
+    while active:
+        steps = [s.samples_to_boundary() for s in active]
+        environments = [state.environment() for state in active]
+        record = any(state.scenario.record_waveforms for state in active)
+        if spec.batched:
+            from ..engine.batch import FleetSimulator
+            fleet = FleetSimulator([state.platform for state in active])
+            results = fleet.run(environments, [step / fs for step in steps],
+                                record_waveforms=record)
+        else:
+            results = [spec.run(state.platform, env, step / fs,
+                                state.scenario.record_waveforms)
+                       for state, env, step in zip(active, environments,
+                                                   steps)]
+        for state, result, step in zip(active, results, steps):
+            state.advance(step, result)
+        active = [s for s in active if not s.done]
+    return [LaneOutcome(s.platform, s.outcomes) for s in states]

@@ -1,0 +1,384 @@
+"""Campaign execution backends: the executor registry and its members.
+
+Engines (``repro.scenarios.engines``) decide *how one platform is
+stepped*; executors decide *where the campaign's lanes run*:
+
+* ``"local"`` — every lane in the calling process, the way campaigns
+  have always run.
+* ``"sharded"`` — the lane programs are partitioned into contiguous
+  shards and farmed out to worker processes through
+  :class:`concurrent.futures.ProcessPoolExecutor`.  What travels to a
+  worker is pickled *descriptions* — scenario programs plus the lane
+  source (base platform, per-lane platforms or a config) — never live
+  simulator internals, and a platform survives a pickle round-trip
+  bit-identically, so every shard replays exactly the simulation the
+  local executor would have run and the assembled
+  :class:`~repro.scenarios.campaign.CampaignResult` is bit-identical to
+  the in-process one (equivalence-locked by test, the same discipline
+  the engine registry lives under).
+
+The sharded executor is crash-tolerant: a JSON batch manifest
+(:mod:`repro.scenarios.manifest`) is written before any worker starts,
+workers publish their results via atomic renames, and a
+verify-and-retry loop re-runs only the shards whose result files are
+missing or fail digest verification — up to ``max_retries`` times, with
+an optional per-shard timeout.  A killed run therefore degrades into a
+resume: call ``Campaign.run`` again with the same ``manifest_dir`` and
+only unfinished shards are simulated.
+"""
+
+from __future__ import annotations
+
+import copy
+import dataclasses
+import hashlib
+import math
+import multiprocessing
+import os
+import pickle
+import tempfile
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import TimeoutError as _FuturesTimeout
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..common.exceptions import ConfigurationError, SimulationError
+from .campaign import Campaign, CampaignResult, LaneOutcome, _execute_lanes
+from .manifest import (
+    SHARD_DONE,
+    SHARD_FAILED,
+    CampaignManifest,
+    ShardRecord,
+    write_shard_payload,
+)
+
+EXECUTOR_LOCAL = "local"
+EXECUTOR_SHARDED = "sharded"
+
+
+@dataclasses.dataclass(frozen=True)
+class ExecutorOptions:
+    """Per-run knobs consumed by the executors (see ``Campaign.run``)."""
+
+    workers: Optional[int] = None
+    manifest_dir: Optional[str] = None
+    max_retries: int = 2
+    shard_timeout_s: Optional[float] = None
+    shard_size: Optional[int] = None
+    fault_hook: Optional[Callable] = None
+
+
+@dataclasses.dataclass
+class LaneSource:
+    """Where a campaign's lane platforms come from.
+
+    Captures the ``platform`` / ``platforms`` / ``config`` choice of
+    ``Campaign.run`` without materialising anything, so the sharded
+    executor can ship each worker only its own slice and materialise
+    lanes worker-side.  A pickle round-trip preserves platform state
+    bit-for-bit, so worker-side materialisation equals local
+    materialisation exactly.
+    """
+
+    mode: str                   # "platform" | "platforms" | "config"
+    base: object
+    mutate: bool = False
+
+    @classmethod
+    def resolve(cls, platform, platforms, config, mutate: bool,
+                n_lanes: int) -> "LaneSource":
+        given = [x is not None for x in (platform, platforms, config)]
+        if sum(given) != 1:
+            raise ConfigurationError(
+                "give exactly one of platform, platforms or config")
+        if platforms is not None:
+            if mutate:
+                raise ConfigurationError(
+                    "mutate only applies when branching from one platform")
+            platforms = list(platforms)
+            if len(platforms) != n_lanes:
+                raise ConfigurationError(
+                    f"got {len(platforms)} platforms for {n_lanes} lanes")
+            return cls("platforms", platforms)
+        if config is not None:
+            if mutate:
+                raise ConfigurationError(
+                    "mutate only applies when branching from one platform")
+            return cls("config", config)
+        if mutate and n_lanes != 1:
+            raise ConfigurationError(
+                "mutate=True requires a single-lane campaign")
+        return cls("platform", platform, mutate)
+
+    def default_engine(self) -> str:
+        """The configured engine of the (first) base platform."""
+        if self.mode == "platforms":
+            return self.base[0].config.engine
+        if self.mode == "config":
+            return self.base.engine
+        return self.base.config.engine
+
+    def materialize(self, indices: Sequence[int]) -> list:
+        """Build the lane platforms for the given campaign lane indices."""
+        if self.mode == "platforms":
+            return [self.base[i] for i in indices]
+        if self.mode == "config":
+            from ..platform.gyro_platform import GyroPlatform
+            return [GyroPlatform(copy.deepcopy(self.base)) for _ in indices]
+        if self.mutate:
+            return [self.base]
+        return [copy.deepcopy(self.base) for _ in indices]
+
+    def subset(self, indices: Sequence[int]) -> "LaneSource":
+        """The slice of this source one shard needs (for its payload)."""
+        if self.mode == "platforms":
+            return LaneSource("platforms", [self.base[i] for i in indices])
+        return LaneSource(self.mode, self.base)
+
+    def digest(self) -> str:
+        """Content digest of the lane source for resume verification."""
+        blob = pickle.dumps((self.mode, self.base),
+                            protocol=pickle.HIGHEST_PROTOCOL)
+        return hashlib.sha256(blob).hexdigest()[:16]
+
+
+@dataclasses.dataclass(frozen=True)
+class ExecutorSpec:
+    """One registered campaign execution backend.
+
+    Attributes:
+        name: registry key (the ``executor=`` value of ``Campaign.run``).
+        parallel: whether the executor fans lanes out across processes.
+        description: one-line summary for error messages and reports.
+        runner: entry point ``runner(campaign, source, engine, options)``
+            returning a :class:`CampaignResult`.
+    """
+
+    name: str
+    parallel: bool
+    description: str
+    runner: Callable
+
+
+_REGISTRY: Dict[str, ExecutorSpec] = {}
+
+
+def register_executor(spec: ExecutorSpec) -> None:
+    """Register an executor (rejects duplicate names)."""
+    if spec.name in _REGISTRY:
+        raise ConfigurationError(
+            f"executor {spec.name!r} is already registered")
+    _REGISTRY[spec.name] = spec
+
+
+def executor_names() -> Tuple[str, ...]:
+    """Names of the registered executors."""
+    return tuple(_REGISTRY)
+
+
+def get_executor(name: str) -> ExecutorSpec:
+    """Resolve an executor name, raising ``ConfigurationError`` on miss."""
+    spec = _REGISTRY.get(name)
+    if spec is None:
+        raise ConfigurationError(
+            f"unknown executor {name!r}; available executors: "
+            f"{', '.join(sorted(_REGISTRY))}")
+    return spec
+
+
+def validate_executor(name: str) -> str:
+    """Validate an executor name and return it unchanged."""
+    get_executor(name)
+    return name
+
+
+# ---------------------------------------------------------------------------
+# local executor
+# ---------------------------------------------------------------------------
+
+def _run_local(campaign: Campaign, source: LaneSource, engine: str,
+               options: ExecutorOptions) -> CampaignResult:
+    if options.workers not in (None, 1):
+        raise ConfigurationError(
+            "the local executor runs in-process; pass executor='sharded' "
+            "(or just workers=N) to fan lanes out over worker processes")
+    lanes = source.materialize(range(len(campaign.programs)))
+    return CampaignResult(_execute_lanes(campaign.programs, lanes, engine))
+
+
+# ---------------------------------------------------------------------------
+# sharded executor
+# ---------------------------------------------------------------------------
+
+def _run_shard(task: dict) -> int:
+    """Worker entry point: simulate one shard and publish its results.
+
+    Runs in a worker process.  Everything it needs arrived pickled in
+    ``task``; the outcome (including each lane's final platform) goes to
+    the shard's result file via an atomic rename, never back over the
+    pipe — so a worker that dies after publishing still counts as done.
+    """
+    if task["fault_hook"] is not None:
+        task["fault_hook"](task["shard_id"], task["attempt"])
+    source: LaneSource = task["source"]
+    lanes = source.materialize(range(len(task["programs"])))
+    outcomes = _execute_lanes(task["programs"], lanes, task["engine"])
+    write_shard_payload(task["result_path"], {
+        "shard_id": task["shard_id"],
+        "lane_indices": task["lane_indices"],
+        "digests": task["digests"],
+        "outcomes": outcomes,
+    })
+    return task["shard_id"]
+
+
+def _partition(n_lanes: int, workers: int,
+               shard_size: Optional[int]) -> List[List[int]]:
+    """Contiguous lane blocks, spread evenly over the workers."""
+    if shard_size is None:
+        shard_size = math.ceil(n_lanes / workers)
+    if shard_size < 1:
+        raise ConfigurationError("shard_size must be >= 1")
+    return [list(range(lo, min(lo + shard_size, n_lanes)))
+            for lo in range(0, n_lanes, shard_size)]
+
+
+def _check_picklable(campaign: Campaign, source: LaneSource,
+                     options: ExecutorOptions) -> None:
+    try:
+        pickle.dumps((campaign.programs, source, options.fault_hook),
+                     protocol=pickle.HIGHEST_PROTOCOL)
+    except Exception as exc:
+        raise ConfigurationError(
+            "the sharded executor ships lane programs to worker processes "
+            "by pickling them; every stop condition and metric extractor "
+            "must be picklable (the scenario library's are — lambdas and "
+            f"closures are not): {exc}") from exc
+
+
+def _run_sharded(campaign: Campaign, source: LaneSource, engine: str,
+                 options: ExecutorOptions) -> CampaignResult:
+    if source.mutate:
+        raise ConfigurationError(
+            "mutate=True runs on the caller's platform object and cannot "
+            "cross process boundaries; use the local executor")
+    _check_picklable(campaign, source, options)
+    workers = options.workers or max(1, os.cpu_count() or 1)
+    if workers < 1:
+        raise ConfigurationError("workers must be >= 1")
+    n_lanes = len(campaign.programs)
+    partition = _partition(n_lanes, workers, options.shard_size)
+    digests = [[s.digest() for s in program]
+               for program in campaign.programs]
+    shards = [ShardRecord(shard_id=k, lane_indices=indices,
+                          digests=[digests[i] for i in indices])
+              for k, indices in enumerate(partition)]
+    directory = options.manifest_dir or tempfile.mkdtemp(
+        prefix="repro-campaign-")
+    manifest = CampaignManifest.create_or_resume(
+        str(directory), campaign.name, engine, source.digest(), shards)
+
+    # verify-and-retry loop: each round first credits shards whose result
+    # files already exist and verify (a previous run's completed work, or
+    # a timed-out worker that finished late), then re-runs the rest
+    for _ in range(options.max_retries + 1):
+        recovered = False
+        for shard in manifest.unfinished():
+            if manifest.load_shard_result(shard) is not None:
+                shard.status = SHARD_DONE
+                shard.error = None
+                recovered = True
+        if recovered:
+            manifest.write()
+        todo = manifest.unfinished()
+        if not todo:
+            break
+        _run_round(manifest, campaign, source, engine, options, todo,
+                   workers)
+
+    failed = manifest.unfinished()
+    if failed:
+        detail = "; ".join(
+            f"shard {s.shard_id} (lanes {s.lane_indices[0]}"
+            f"-{s.lane_indices[-1]}, {s.attempts} attempts): "
+            f"{s.error or 'no result file'}" for s in failed)
+        raise SimulationError(
+            f"campaign {campaign.name!r}: {len(failed)} of "
+            f"{len(manifest.shards)} shards failed — {detail}. Completed "
+            f"shards are kept in {manifest.directory!r}; re-run "
+            f"Campaign.run(..., executor='sharded', "
+            f"manifest_dir={manifest.directory!r}) to resume without "
+            "re-simulating them")
+
+    lane_outcomes: List[Optional[LaneOutcome]] = [None] * n_lanes
+    for shard in manifest.shards:
+        payload = manifest.load_shard_result(shard)
+        if payload is None:
+            raise SimulationError(
+                f"shard {shard.shard_id} is marked done but its result "
+                f"file failed verification; delete {manifest.directory!r} "
+                "and re-run")
+        for index, outcome in zip(shard.lane_indices, payload["outcomes"]):
+            lane_outcomes[index] = outcome
+    return CampaignResult(lane_outcomes)
+
+
+def _run_round(manifest: CampaignManifest, campaign: Campaign,
+               source: LaneSource, engine: str, options: ExecutorOptions,
+               todo: List[ShardRecord], workers: int) -> None:
+    """Launch one attempt of every unfinished shard and harvest results."""
+    try:
+        mp_context = multiprocessing.get_context("fork")
+    except ValueError:        # platforms without fork
+        mp_context = multiprocessing.get_context()
+    pool = ProcessPoolExecutor(max_workers=min(workers, len(todo)),
+                               mp_context=mp_context)
+    futures = {}
+    for shard in todo:
+        shard.attempts += 1
+        futures[pool.submit(_run_shard, {
+            "shard_id": shard.shard_id,
+            "attempt": shard.attempts,
+            "engine": engine,
+            "programs": [campaign.programs[i] for i in shard.lane_indices],
+            "lane_indices": shard.lane_indices,
+            "digests": shard.digests,
+            "source": source.subset(shard.lane_indices),
+            "result_path": manifest.shard_result_path(shard.shard_id),
+            "fault_hook": options.fault_hook,
+        })] = shard
+    manifest.write()
+    timed_out = False
+    for future, shard in futures.items():
+        try:
+            future.result(timeout=options.shard_timeout_s)
+        except _FuturesTimeout:
+            shard.status = SHARD_FAILED
+            shard.error = (f"attempt {shard.attempts} timed out after "
+                           f"{options.shard_timeout_s} s")
+            timed_out = True
+        except Exception as exc:   # worker raised or died
+            shard.status = SHARD_FAILED
+            shard.error = (f"attempt {shard.attempts}: "
+                           f"{type(exc).__name__}: {exc}")
+        else:
+            if manifest.load_shard_result(shard) is not None:
+                shard.status = SHARD_DONE
+                shard.error = None
+            else:
+                shard.status = SHARD_FAILED
+                shard.error = (f"attempt {shard.attempts}: worker returned "
+                               "but its result file failed verification")
+        manifest.write()
+    # a timed-out worker may still be running; don't block shutdown on it
+    pool.shutdown(wait=not timed_out, cancel_futures=timed_out)
+
+
+register_executor(ExecutorSpec(
+    EXECUTOR_LOCAL, parallel=False,
+    description="runs every lane in the calling process",
+    runner=_run_local))
+register_executor(ExecutorSpec(
+    EXECUTOR_SHARDED, parallel=True,
+    description="partitions lanes into shards across worker processes "
+                "with a resumable batch manifest",
+    runner=_run_sharded))

@@ -7,10 +7,18 @@ named :class:`~repro.scenarios.scenario.Scenario` builder, so the
 platform calibration procedures, the characterisation harness, the
 baseline-device comparison and the simulation-backed DSE all replay the
 *same* campaign definitions instead of private loops.
+
+The metric extractors are small frozen-dataclass callables rather than
+closures, so every library scenario **pickles**: the sharded campaign
+executor ships lane programs to worker processes by pickling them, and
+the manifest layer digests them for resume verification.  User-defined
+scenarios may still use lambdas — they just stay restricted to the
+in-process ``"local"`` executor.
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import List, Sequence, Tuple
 
 import numpy as np
@@ -32,6 +40,101 @@ def startup_complete(platform) -> bool:
     """Stop condition: the start-up sequencer reports RUNNING."""
     return platform.conditioner.running
 
+
+def noise_density_from_record(record: np.ndarray, sample_rate_hz: float,
+                              band_hz: Tuple[float, float],
+                              skip_fraction: float = 0.2) -> float:
+    """Band-averaged ASD of a zero-rate record, transient skipped."""
+    record = np.asarray(record, dtype=np.float64)
+    record = record[int(record.size * skip_fraction):]
+    return band_average_density(record, sample_rate_hz, band_hz)
+
+
+# ---------------------------------------------------------------------------
+# Picklable metric extractors
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class TraceTailMean:
+    """Extractor: settled-tail mean of one recorded trace."""
+
+    trace: str = "rate_output_dps"
+    fraction: float = 0.4
+
+    def __call__(self, platform, result) -> float:
+        return tail_mean(getattr(result, self.trace), self.fraction)
+
+
+@dataclass(frozen=True)
+class TraceTailStd:
+    """Extractor: standard deviation over the settled tail of a trace."""
+
+    trace: str = "rate_output_dps"
+    fraction: float = 0.6
+
+    def __call__(self, platform, result) -> float:
+        record = getattr(result, self.trace)
+        return float(np.std(record[result.settled_slice(self.fraction)]))
+
+
+@dataclass(frozen=True)
+class RawRateChannel:
+    """Extractor: uncompensated sense-channel value from the chain state.
+
+    The channel is heavily low-pass filtered, so the instantaneous value
+    at scenario end represents the settled mean — exactly what
+    :meth:`GyroPlatform.measure_settled_output` reads.
+    """
+
+    def __call__(self, platform, result) -> float:
+        return platform.conditioner.sense_chain.rate_channel
+
+
+@dataclass(frozen=True)
+class TurnOnTime:
+    """Extractor: measured turn-on time (None if start-up incomplete)."""
+
+    def __call__(self, platform, result):
+        return result.turn_on_time_s
+
+
+@dataclass(frozen=True)
+class RunningAtEnd:
+    """Extractor: whether the start-up sequencer reported RUNNING at end."""
+
+    def __call__(self, platform, result) -> bool:
+        return bool(result.running[-1])
+
+
+@dataclass(frozen=True)
+class NoiseDensity:
+    """Extractor: in-band rate-noise density of a zero-rate record."""
+
+    band_hz: Tuple[float, float] = (2.0, 20.0)
+    skip_fraction: float = 0.2
+
+    def __call__(self, platform, result) -> float:
+        return noise_density_from_record(result.rate_output_dps,
+                                         result.sample_rate_hz,
+                                         tuple(self.band_hz),
+                                         self.skip_fraction)
+
+
+@dataclass(frozen=True)
+class SineResponseGain:
+    """Extractor: output amplitude gain of a sinusoidal rate probe."""
+
+    amplitude_dps: float = 1.0
+    fraction: float = 0.6
+
+    def __call__(self, platform, result) -> float:
+        response = result.rate_output_dps[result.settled_slice(self.fraction)]
+        return float(np.sqrt(2.0) * np.std(response)) / self.amplitude_dps
+
+
+# ---------------------------------------------------------------------------
+# Scenario builders
+# ---------------------------------------------------------------------------
 
 def startup_scenario(temperature_c: float = ROOM_TEMPERATURE_C,
                      max_duration_s: float = 1.5,
@@ -55,7 +158,7 @@ def startup_scenario(temperature_c: float = ROOM_TEMPERATURE_C,
         timeout_message=("conditioning chain failed to complete start-up "
                          f"within {max_duration_s} s"),
         extractors={
-            "turn_on_time_s": lambda p, r: r.turn_on_time_s,
+            "turn_on_time_s": TurnOnTime(),
         })
 
 
@@ -79,12 +182,10 @@ def settled_output_scenario(rate_dps: float,
         duration_s=settle_s,
         reset=reset,
         extractors={
-            "raw_channel":
-                lambda p, r: p.conditioner.sense_chain.rate_channel,
-            "rate_output_dps":
-                lambda p, r: tail_mean(r.rate_output_dps, settle_fraction),
-            "rate_output_v":
-                lambda p, r: tail_mean(r.rate_output_v, settle_fraction),
+            "raw_channel": RawRateChannel(),
+            "rate_output_dps": TraceTailMean("rate_output_dps",
+                                             settle_fraction),
+            "rate_output_v": TraceTailMean("rate_output_v", settle_fraction),
         })
 
 
@@ -124,18 +225,8 @@ def noise_floor_scenario(temperature_c: float = ROOM_TEMPERATURE_C,
         duration_s=duration_s,
         reset=reset,
         extractors={
-            "noise_density": lambda p, r: noise_density_from_record(
-                r.rate_output_dps, r.sample_rate_hz, band_hz, skip_fraction),
+            "noise_density": NoiseDensity(tuple(band_hz), skip_fraction),
         })
-
-
-def noise_density_from_record(record: np.ndarray, sample_rate_hz: float,
-                              band_hz: Tuple[float, float],
-                              skip_fraction: float = 0.2) -> float:
-    """Band-averaged ASD of a zero-rate record, transient skipped."""
-    record = np.asarray(record, dtype=np.float64)
-    record = record[int(record.size * skip_fraction):]
-    return band_average_density(record, sample_rate_hz, band_hz)
 
 
 def bandwidth_probe_scenario(frequency_hz: float, amplitude_dps: float,
@@ -143,16 +234,11 @@ def bandwidth_probe_scenario(frequency_hz: float, amplitude_dps: float,
                              min_duration_s: float = 0.2,
                              settle_fraction: float = 0.6) -> Scenario:
     """Sinusoidal rate probe reduced to an output amplitude gain."""
-
-    def gain(p, r):
-        response = r.rate_output_dps[r.settled_slice(settle_fraction)]
-        return float(np.sqrt(2.0) * np.std(response)) / amplitude_dps
-
     return Scenario(
         name=f"bandwidth-probe[{frequency_hz:g}Hz]",
         environment=Environment.sinusoidal_rate(amplitude_dps, frequency_hz),
         duration_s=max(cycles / frequency_hz, min_duration_s),
-        extractors={"gain": gain})
+        extractors={"gain": SineResponseGain(amplitude_dps, settle_fraction)})
 
 
 def design_validation_scenarios(probe_rate_dps: float = 100.0,
@@ -167,16 +253,6 @@ def design_validation_scenarios(probe_rate_dps: float = 100.0,
     tail spread (the noise measurement).
     """
 
-    def still_extractors():
-        return {
-            "turn_on_time_s": lambda p, r: r.turn_on_time_s,
-            "running_at_end": lambda p, r: bool(r.running[-1]),
-            "tail_mean_dps":
-                lambda p, r: tail_mean(r.rate_output_dps, settle_fraction),
-            "tail_std_dps": lambda p, r: float(
-                np.std(r.rate_output_dps[r.settled_slice(settle_fraction)])),
-        }
-
     def probe(rate):
         return Scenario(
             name=f"dse-probe[{rate:+g}dps]",
@@ -184,9 +260,8 @@ def design_validation_scenarios(probe_rate_dps: float = 100.0,
             duration_s=duration_s,
             reset=True,
             extractors={
-                "tail_mean_dps":
-                    lambda p, r: tail_mean(r.rate_output_dps,
-                                           settle_fraction),
+                "tail_mean_dps": TraceTailMean("rate_output_dps",
+                                               settle_fraction),
             })
 
     still = Scenario(
@@ -194,5 +269,11 @@ def design_validation_scenarios(probe_rate_dps: float = 100.0,
         environment=Environment.still(),
         duration_s=duration_s,
         reset=True,
-        extractors=still_extractors())
+        extractors={
+            "turn_on_time_s": TurnOnTime(),
+            "running_at_end": RunningAtEnd(),
+            "tail_mean_dps": TraceTailMean("rate_output_dps",
+                                           settle_fraction),
+            "tail_std_dps": TraceTailStd("rate_output_dps", settle_fraction),
+        })
     return [still, probe(probe_rate_dps), probe(-probe_rate_dps)]

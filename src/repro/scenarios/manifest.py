@@ -1,0 +1,232 @@
+"""Batch manifests for the sharded campaign executor.
+
+A sharded campaign writes one JSON *batch manifest* describing every
+shard — its lane indices, the content digests of those lanes' scenario
+programs and its execution status — to the manifest directory **before**
+any worker launches, and rewrites it (atomically) as shards complete or
+fail.  Workers never touch the manifest; each one writes its shard's
+outcomes to ``shard-NNNN.pkl`` via an atomic rename, so a crashed or
+killed worker leaves either a complete result file or none at all.
+
+That makes the manifest directory a resumable record of the campaign:
+pointing a new ``Campaign.run`` at the same directory verifies the
+manifest was produced by the same campaign (name, engine, lane digests,
+partition and lane-source digest all have to match) and re-runs only the
+shards whose result files are missing or fail verification.  The layout
+follows the ``create_batch_manifest.py`` / ``verify_and_retry`` pattern
+of HPC array-job pipelines.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+import pickle
+from typing import Dict, List, Optional
+
+from ..common.exceptions import ConfigurationError
+
+#: Shard lifecycle states recorded in the manifest.
+SHARD_PENDING = "pending"
+SHARD_DONE = "done"
+SHARD_FAILED = "failed"
+
+MANIFEST_FILENAME = "manifest.json"
+MANIFEST_VERSION = 1
+
+
+@dataclasses.dataclass
+class ShardRecord:
+    """One shard's slice of the campaign and its execution status.
+
+    Attributes:
+        shard_id: position of the shard in the partition.
+        lane_indices: campaign lane indices this shard simulates.
+        digests: per lane, the content digests of its scenario program
+            (:meth:`~repro.scenarios.scenario.Scenario.digest`) — the
+            integrity key for resume and result verification.
+        status: ``"pending"``, ``"done"`` or ``"failed"``.
+        attempts: how many times the shard has been launched.
+        error: last failure description, if any.
+    """
+
+    shard_id: int
+    lane_indices: List[int]
+    digests: List[List[str]]
+    status: str = SHARD_PENDING
+    attempts: int = 0
+    error: Optional[str] = None
+
+    def to_dict(self) -> dict:
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ShardRecord":
+        return cls(shard_id=int(data["shard_id"]),
+                   lane_indices=[int(i) for i in data["lane_indices"]],
+                   digests=[[str(d) for d in lane]
+                            for lane in data["digests"]],
+                   status=str(data["status"]),
+                   attempts=int(data.get("attempts", 0)),
+                   error=data.get("error"))
+
+    def identity(self) -> tuple:
+        """The shard fields that must match for a resume to be valid."""
+        return (self.shard_id, tuple(self.lane_indices),
+                tuple(tuple(lane) for lane in self.digests))
+
+
+class CampaignManifest:
+    """The on-disk state of one sharded campaign run."""
+
+    def __init__(self, directory: str, campaign_name: str, engine: str,
+                 source_digest: str, shards: List[ShardRecord]):
+        self.directory = directory
+        self.campaign_name = campaign_name
+        self.engine = engine
+        self.source_digest = source_digest
+        self.shards = shards
+
+    # -- paths --------------------------------------------------------------
+
+    @property
+    def path(self) -> str:
+        return os.path.join(self.directory, MANIFEST_FILENAME)
+
+    def shard_result_path(self, shard_id: int) -> str:
+        return os.path.join(self.directory, f"shard-{shard_id:04d}.pkl")
+
+    # -- persistence --------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        return {
+            "version": MANIFEST_VERSION,
+            "campaign_name": self.campaign_name,
+            "engine": self.engine,
+            "source_digest": self.source_digest,
+            "shards": [shard.to_dict() for shard in self.shards],
+        }
+
+    def write(self) -> None:
+        """Atomically persist the manifest (write temp file + rename)."""
+        tmp = self.path + f".tmp-{os.getpid()}"
+        with open(tmp, "w", encoding="utf-8") as fh:
+            json.dump(self.to_dict(), fh, indent=2)
+        os.replace(tmp, self.path)
+
+    @classmethod
+    def load(cls, directory: str) -> "CampaignManifest":
+        path = os.path.join(directory, MANIFEST_FILENAME)
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                data = json.load(fh)
+        except (OSError, ValueError) as exc:
+            raise ConfigurationError(
+                f"cannot read campaign manifest {path!r}: {exc}") from exc
+        if data.get("version") != MANIFEST_VERSION:
+            raise ConfigurationError(
+                f"campaign manifest {path!r} has version "
+                f"{data.get('version')!r}, expected {MANIFEST_VERSION}")
+        return cls(directory=directory,
+                   campaign_name=str(data["campaign_name"]),
+                   engine=str(data["engine"]),
+                   source_digest=str(data["source_digest"]),
+                   shards=[ShardRecord.from_dict(s) for s in data["shards"]])
+
+    @classmethod
+    def create_or_resume(cls, directory: str, campaign_name: str,
+                         engine: str, source_digest: str,
+                         shards: List[ShardRecord]) -> "CampaignManifest":
+        """Open a manifest directory: fresh start or verified resume.
+
+        When ``directory`` already holds a manifest it must describe the
+        same campaign — same name, engine, shard partition, scenario
+        digests and lane-source digest — otherwise a
+        :class:`ConfigurationError` explains the mismatch rather than
+        silently mixing two campaigns' shards.  On a valid resume the
+        previous shard statuses (and completed result files) are kept,
+        so only unfinished work re-runs.
+        """
+        os.makedirs(directory, exist_ok=True)
+        path = os.path.join(directory, MANIFEST_FILENAME)
+        if os.path.exists(path):
+            manifest = cls.load(directory)
+            fresh = cls(directory, campaign_name, engine, source_digest,
+                        shards)
+            mismatch = manifest._describe_mismatch(fresh)
+            if mismatch:
+                raise ConfigurationError(
+                    f"manifest directory {directory!r} belongs to a "
+                    f"different campaign ({mismatch}); use a fresh "
+                    "manifest_dir or delete the stale one")
+            return manifest
+        manifest = cls(directory, campaign_name, engine, source_digest,
+                       shards)
+        manifest.write()
+        return manifest
+
+    def _describe_mismatch(self, other: "CampaignManifest") -> Optional[str]:
+        if self.campaign_name != other.campaign_name:
+            return (f"campaign name {self.campaign_name!r} != "
+                    f"{other.campaign_name!r}")
+        if self.engine != other.engine:
+            return f"engine {self.engine!r} != {other.engine!r}"
+        if self.source_digest != other.source_digest:
+            return "lane source changed"
+        if len(self.shards) != len(other.shards):
+            return (f"{len(self.shards)} shards on disk != "
+                    f"{len(other.shards)} requested")
+        for mine, theirs in zip(self.shards, other.shards):
+            if mine.identity() != theirs.identity():
+                return (f"shard {mine.shard_id} covers different lanes "
+                        "or scenario programs")
+        return None
+
+    # -- shard results ------------------------------------------------------
+
+    def load_shard_result(self, record: ShardRecord) -> Optional[dict]:
+        """Load and verify one shard's result file.
+
+        Returns the payload only when the file exists, unpickles and
+        matches the shard's identity (id, lane indices and scenario
+        digests); anything else returns None so the verify-and-retry
+        loop treats the shard as not done.
+        """
+        path = self.shard_result_path(record.shard_id)
+        if not os.path.exists(path):
+            return None
+        try:
+            with open(path, "rb") as fh:
+                payload = pickle.load(fh)
+        except Exception:
+            return None
+        if (payload.get("shard_id") != record.shard_id
+                or payload.get("lane_indices") != record.lane_indices
+                or payload.get("digests") != record.digests):
+            return None
+        return payload
+
+    # -- queries ------------------------------------------------------------
+
+    def unfinished(self) -> List[ShardRecord]:
+        return [s for s in self.shards if s.status != SHARD_DONE]
+
+    def counts(self) -> Dict[str, int]:
+        counts = {SHARD_PENDING: 0, SHARD_DONE: 0, SHARD_FAILED: 0}
+        for shard in self.shards:
+            counts[shard.status] = counts.get(shard.status, 0) + 1
+        return counts
+
+
+def write_shard_payload(path: str, payload: dict) -> None:
+    """Atomically persist one shard's outcome payload.
+
+    Called from worker processes: the temp-file + rename dance means a
+    worker killed mid-write leaves no partial result file for the
+    parent's verification to trip over.
+    """
+    tmp = path + f".tmp-{os.getpid()}"
+    with open(tmp, "wb") as fh:
+        pickle.dump(payload, fh, protocol=pickle.HIGHEST_PROTOCOL)
+    os.replace(tmp, path)

@@ -15,12 +15,32 @@ executes them.
 
 from __future__ import annotations
 
+import dataclasses
+import hashlib
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Optional
 
 from ..common.exceptions import ConfigurationError
 from ..platform.result import GyroSimulationResult
 from ..sensors.environment import Environment
+
+
+def _callable_token(fn: Callable) -> str:
+    """A stable textual identity for a stop condition or extractor.
+
+    Dataclass callables (the scenario library's extractors) render their
+    full ``repr`` — parameters included — so two extractors that compute
+    different things digest differently.  Plain functions render as
+    ``module.qualname``.  Lambdas and closures degrade to their
+    qualname (``module.<locals>.<lambda>``): the digest is an integrity
+    aid for the shard manifest, not a cryptographic identity, and such
+    scenarios cannot be shipped cross-process anyway.
+    """
+    if dataclasses.is_dataclass(fn) and not isinstance(fn, type):
+        return repr(fn)
+    module = getattr(fn, "__module__", "?")
+    qualname = getattr(fn, "__qualname__", repr(fn))
+    return f"{module}.{qualname}"
 
 #: Signature of a stop condition: inspects the platform state after a
 #: chunk and returns True to end the scenario early.
@@ -83,6 +103,30 @@ class Scenario:
             raise ConfigurationError(
                 "stop_check_s must be in (0, duration_s]")
 
+    def digest(self) -> str:
+        """Content digest of this scenario for shard-manifest integrity.
+
+        Hashes the declarative fields — environment (dataclass reprs are
+        deterministic), timing, reset/record flags, stop configuration
+        and the extractor identities — so a resumed sharded campaign can
+        verify that an on-disk manifest was produced by the same lane
+        programs before reusing completed shards.
+        """
+        parts = [
+            self.name,
+            repr(self.environment),
+            repr(self.duration_s),
+            repr(self.reset),
+            repr(self.record_waveforms),
+            "-" if self.stop is None else _callable_token(self.stop),
+            repr(self.stop_check_s),
+            repr(self.require_stop),
+        ]
+        for key in sorted(self.extractors):
+            parts.append(f"{key}={_callable_token(self.extractors[key])}")
+        payload = "\x1f".join(parts).encode("utf-8")
+        return hashlib.sha256(payload).hexdigest()[:16]
+
 
 @dataclass
 class ScenarioOutcome:
@@ -106,3 +150,36 @@ class ScenarioOutcome:
     @property
     def name(self) -> str:
         return self.scenario.name
+
+    def to_dict(self) -> dict:
+        """JSON-compatible dict of the outcome.
+
+        The scenario itself is summarised (name, duration, digest), not
+        serialised: stop conditions and extractors are arbitrary
+        callables.  :meth:`from_dict` therefore rebuilds a placeholder
+        scenario carrying the name/duration/digest only — metrics are
+        already evaluated, so nothing downstream needs the callables.
+        Use pickle when full scenario fidelity is required.
+        """
+        return {
+            "scenario": {"name": self.scenario.name,
+                         "duration_s": self.scenario.duration_s,
+                         "digest": self.scenario.digest()},
+            "result": self.result.to_dict(),
+            "metrics": dict(self.metrics),
+            "stopped_early": self.stopped_early,
+            "elapsed_s": self.elapsed_s,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ScenarioOutcome":
+        """Rebuild an outcome from :meth:`to_dict` output."""
+        from ..sensors.environment import Environment
+        meta = data["scenario"]
+        scenario = Scenario(name=meta["name"], environment=Environment.still(),
+                            duration_s=meta["duration_s"])
+        return cls(scenario=scenario,
+                   result=GyroSimulationResult.from_dict(data["result"]),
+                   metrics=dict(data["metrics"]),
+                   stopped_early=bool(data["stopped_early"]),
+                   elapsed_s=float(data["elapsed_s"]))

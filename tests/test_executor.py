@@ -1,0 +1,497 @@
+"""Tests for the campaign executor layer (``repro.scenarios.executor``).
+
+The sharded executor promises that fanning a campaign's lanes out over
+worker processes changes *where* the simulation runs and nothing else:
+the assembled :class:`CampaignResult` — traces, metrics, programmed
+calibration words and the behaviour of the returned lane platforms — is
+bit-identical to the in-process local executor.  These tests hold it to
+that, exercise the batch manifest's verify-and-retry / resume machinery
+with injected faults, and cover the executor registry, the unified
+``GyroPlatform.run`` signature (and its ``run_batch`` deprecation shim)
+and the result serialisation round-trips the shard files rely on.
+"""
+
+import copy
+import dataclasses
+import os
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.common import ConfigurationError, SimulationError
+from repro.platform import GyroPlatform, GyroPlatformConfig
+from repro.scenarios import (
+    Campaign,
+    CampaignManifest,
+    CampaignResult,
+    Scenario,
+    ShardRecord,
+    executor_names,
+    get_executor,
+    rate_table_scenarios,
+    register_executor,
+    settled_output_scenario,
+    startup_scenario,
+    validate_executor,
+)
+from repro.scenarios.executor import ExecutorSpec
+from repro.scenarios.manifest import (
+    SHARD_DONE,
+    SHARD_FAILED,
+    write_shard_payload,
+)
+from repro.sensors import Environment
+
+TRACE_FIELDS = (
+    "time_s", "true_rate_dps", "temperature_c", "rate_output_dps",
+    "rate_output_v", "amplitude_control", "amplitude_error", "phase_error",
+    "vco_control", "pll_locked", "running")
+
+
+def assert_outcomes_identical(a, b):
+    """Bit-identical traces, metrics and bookkeeping for two outcomes."""
+    assert a.metrics == b.metrics
+    assert a.stopped_early == b.stopped_early
+    assert a.elapsed_s == b.elapsed_s
+    for field in TRACE_FIELDS:
+        assert np.array_equal(getattr(a.result, field),
+                              getattr(b.result, field)), field
+
+
+def assert_campaigns_identical(a: CampaignResult, b: CampaignResult):
+    assert len(a.lanes) == len(b.lanes)
+    for lane_a, lane_b in zip(a.lanes, b.lanes):
+        assert len(lane_a.outcomes) == len(lane_b.outcomes)
+        for oa, ob in zip(lane_a.outcomes, lane_b.outcomes):
+            assert_outcomes_identical(oa, ob)
+
+
+@pytest.fixture(scope="module")
+def started_platform():
+    platform = GyroPlatform()
+    platform.start()
+    return platform
+
+
+# ---------------------------------------------------------------------------
+# executor registry
+# ---------------------------------------------------------------------------
+
+class TestExecutorRegistry:
+    def test_builtin_executors_registered(self):
+        assert set(executor_names()) >= {"local", "sharded"}
+
+    def test_get_executor_unknown_name(self):
+        with pytest.raises(ConfigurationError, match="unknown executor"):
+            get_executor("cluster")
+
+    def test_validate_executor_passthrough(self):
+        assert validate_executor("local") == "local"
+        with pytest.raises(ConfigurationError):
+            validate_executor("nope")
+
+    def test_duplicate_registration_rejected(self):
+        spec = get_executor("local")
+        with pytest.raises(ConfigurationError, match="already registered"):
+            register_executor(ExecutorSpec("local", parallel=False,
+                                           description="dup",
+                                           runner=spec.runner))
+
+    def test_campaign_run_rejects_unknown_executor(self, started_platform):
+        camp = Campaign([settled_output_scenario(0.0, settle_s=0.01)])
+        with pytest.raises(ConfigurationError, match="unknown executor"):
+            camp.run(copy.deepcopy(started_platform), executor="cluster")
+
+    def test_local_executor_rejects_workers(self, started_platform):
+        camp = Campaign([settled_output_scenario(0.0, settle_s=0.01)])
+        with pytest.raises(ConfigurationError, match="in-process"):
+            camp.run(copy.deepcopy(started_platform), executor="local",
+                     workers=2)
+
+
+# ---------------------------------------------------------------------------
+# batch manifest (pure unit tests, no simulation)
+# ---------------------------------------------------------------------------
+
+def make_shards():
+    return [ShardRecord(shard_id=0, lane_indices=[0, 1],
+                        digests=[["aa"], ["bb"]]),
+            ShardRecord(shard_id=1, lane_indices=[2],
+                        digests=[["cc", "dd"]])]
+
+
+class TestManifest:
+    def test_shard_record_dict_round_trip(self):
+        record = ShardRecord(shard_id=3, lane_indices=[4, 5],
+                             digests=[["x"], ["y"]], status=SHARD_FAILED,
+                             attempts=2, error="boom")
+        clone = ShardRecord.from_dict(record.to_dict())
+        assert clone == record
+
+    def test_write_load_round_trip(self, tmp_path):
+        manifest = CampaignManifest(str(tmp_path), "camp", "batched",
+                                    "f00d", make_shards())
+        manifest.write()
+        loaded = CampaignManifest.load(str(tmp_path))
+        assert loaded.campaign_name == "camp"
+        assert loaded.engine == "batched"
+        assert loaded.source_digest == "f00d"
+        assert loaded.shards == manifest.shards
+
+    def test_load_rejects_missing_and_bad_version(self, tmp_path):
+        with pytest.raises(ConfigurationError, match="cannot read"):
+            CampaignManifest.load(str(tmp_path))
+        manifest = CampaignManifest(str(tmp_path), "camp", "batched",
+                                    "f00d", make_shards())
+        manifest.write()
+        import json
+        data = json.load(open(manifest.path))
+        data["version"] = 99
+        json.dump(data, open(manifest.path, "w"))
+        with pytest.raises(ConfigurationError, match="version"):
+            CampaignManifest.load(str(tmp_path))
+
+    def test_create_or_resume_keeps_statuses(self, tmp_path):
+        first = CampaignManifest.create_or_resume(
+            str(tmp_path), "camp", "batched", "f00d", make_shards())
+        first.shards[0].status = SHARD_DONE
+        first.shards[0].attempts = 1
+        first.write()
+        resumed = CampaignManifest.create_or_resume(
+            str(tmp_path), "camp", "batched", "f00d", make_shards())
+        assert resumed.shards[0].status == SHARD_DONE
+        assert resumed.shards[0].attempts == 1
+        assert resumed.shards[1].status != SHARD_DONE
+
+    @pytest.mark.parametrize("kwargs,match", [
+        (dict(campaign_name="other"), "campaign name"),
+        (dict(engine="fused"), "engine"),
+        (dict(source_digest="beef"), "lane source"),
+    ])
+    def test_create_or_resume_rejects_mismatch(self, tmp_path, kwargs, match):
+        CampaignManifest.create_or_resume(str(tmp_path), "camp", "batched",
+                                          "f00d", make_shards())
+        fields = dict(campaign_name="camp", engine="batched",
+                      source_digest="f00d")
+        fields.update(kwargs)
+        with pytest.raises(ConfigurationError, match=match):
+            CampaignManifest.create_or_resume(
+                str(tmp_path), fields["campaign_name"], fields["engine"],
+                fields["source_digest"], make_shards())
+
+    def test_create_or_resume_rejects_different_partition(self, tmp_path):
+        CampaignManifest.create_or_resume(str(tmp_path), "camp", "batched",
+                                          "f00d", make_shards())
+        shards = make_shards()
+        shards[1].digests = [["ee", "dd"]]
+        with pytest.raises(ConfigurationError, match="different lanes"):
+            CampaignManifest.create_or_resume(str(tmp_path), "camp",
+                                              "batched", "f00d", shards)
+
+    def test_load_shard_result_verifies_identity(self, tmp_path):
+        manifest = CampaignManifest(str(tmp_path), "camp", "batched",
+                                    "f00d", make_shards())
+        record = manifest.shards[0]
+        # missing file
+        assert manifest.load_shard_result(record) is None
+        # wrong digests
+        write_shard_payload(manifest.shard_result_path(0), {
+            "shard_id": 0, "lane_indices": [0, 1],
+            "digests": [["zz"], ["bb"]], "outcomes": []})
+        assert manifest.load_shard_result(record) is None
+        # corrupt pickle
+        with open(manifest.shard_result_path(0), "wb") as fh:
+            fh.write(b"not a pickle")
+        assert manifest.load_shard_result(record) is None
+        # valid payload
+        write_shard_payload(manifest.shard_result_path(0), {
+            "shard_id": 0, "lane_indices": [0, 1],
+            "digests": [["aa"], ["bb"]], "outcomes": ["ok"]})
+        payload = manifest.load_shard_result(record)
+        assert payload["outcomes"] == ["ok"]
+
+    def test_counts_and_unfinished(self):
+        manifest = CampaignManifest("/nonexistent", "camp", "batched",
+                                    "f00d", make_shards())
+        manifest.shards[0].status = SHARD_DONE
+        assert manifest.counts()[SHARD_DONE] == 1
+        assert [s.shard_id for s in manifest.unfinished()] == [1]
+
+
+# ---------------------------------------------------------------------------
+# scenario digests
+# ---------------------------------------------------------------------------
+
+class TestScenarioDigest:
+    def test_digest_is_stable_and_content_sensitive(self):
+        a = settled_output_scenario(50.0, settle_s=0.1)
+        same = settled_output_scenario(50.0, settle_s=0.1)
+        other = settled_output_scenario(60.0, settle_s=0.1)
+        assert a.digest() == same.digest()
+        assert a.digest() != other.digest()
+
+    def test_digest_sees_extractor_parameters(self):
+        a = settled_output_scenario(50.0, settle_s=0.1, settle_fraction=0.4)
+        b = settled_output_scenario(50.0, settle_s=0.1, settle_fraction=0.5)
+        assert a.digest() != b.digest()
+
+
+# ---------------------------------------------------------------------------
+# result serialisation (what the shard files carry)
+# ---------------------------------------------------------------------------
+
+class TestSerialisation:
+    def test_simulation_result_dict_round_trip(self):
+        platform = GyroPlatform()
+        result = platform.run(Environment.still(), 0.01)
+        clone = type(result).from_dict(result.to_dict())
+        for field in TRACE_FIELDS:
+            assert np.array_equal(getattr(result, field),
+                                  getattr(clone, field)), field
+        assert clone.sample_rate_hz == result.sample_rate_hz
+        assert clone.turn_on_time_s == result.turn_on_time_s
+
+    def test_campaign_result_dict_round_trip(self, started_platform):
+        camp = Campaign(rate_table_scenarios([0.0, 50.0], settle_s=0.02))
+        result = camp.run(copy.deepcopy(started_platform))
+        clone = CampaignResult.from_dict(result.to_dict())
+        assert len(clone.lanes) == len(result.lanes)
+        for lane, lane_clone in zip(result.lanes, clone.lanes):
+            assert lane_clone.platform is None
+            for o, oc in zip(lane.outcomes, lane_clone.outcomes):
+                assert oc.metrics == o.metrics
+                assert oc.scenario.name == o.scenario.name
+                for field in TRACE_FIELDS:
+                    assert np.array_equal(getattr(o.result, field),
+                                          getattr(oc.result, field))
+
+    def test_campaign_result_pickle_round_trip(self, started_platform):
+        camp = Campaign(rate_table_scenarios([0.0], settle_s=0.02))
+        result = camp.run(copy.deepcopy(started_platform))
+        clone = pickle.loads(pickle.dumps(result))
+        assert_campaigns_identical(result, clone)
+        # the lane platform travels too, bit-identically: replaying the
+        # same scenario on both continues the simulation identically
+        follow = Campaign([settled_output_scenario(10.0, settle_s=0.02)])
+        a = follow.run(result.lanes[0].platform, mutate=True)
+        b = follow.run(clone.lanes[0].platform, mutate=True)
+        assert_campaigns_identical(a, b)
+
+    def test_library_scenarios_are_picklable(self):
+        scenarios = [startup_scenario(),
+                     settled_output_scenario(50.0, settle_s=0.1),
+                     *rate_table_scenarios([0.0, 10.0], settle_s=0.1)]
+        clones = pickle.loads(pickle.dumps(scenarios))
+        for original, clone in zip(scenarios, clones):
+            assert clone.digest() == original.digest()
+
+
+# ---------------------------------------------------------------------------
+# unified GyroPlatform.run API + deprecation shims
+# ---------------------------------------------------------------------------
+
+class TestUnifiedRunApi:
+    def test_run_accepts_environment_sequence(self):
+        platform = GyroPlatform()
+        envs = [Environment.still(),
+                Environment.constant_rate(30.0)]
+        results = platform.run(envs, 0.02)
+        singles = [GyroPlatform().run(env, 0.02) for env in envs]
+        assert isinstance(results, list) and len(results) == 2
+        for got, want in zip(results, singles):
+            for field in TRACE_FIELDS:
+                assert np.array_equal(getattr(got, field),
+                                      getattr(want, field)), field
+
+    def test_run_batch_shim_warns_and_matches(self):
+        platform = GyroPlatform()
+        envs = [Environment.still(), Environment.constant_rate(20.0)]
+        with pytest.warns(DeprecationWarning, match="run_batch"):
+            old = platform.run_batch(envs, 0.02)
+        new = platform.run(envs, 0.02)
+        for a, b in zip(old, new):
+            for field in TRACE_FIELDS:
+                assert np.array_equal(getattr(a, field), getattr(b, field))
+
+    def test_run_sequence_with_workers_matches_local(self):
+        envs = [Environment.still(), Environment.constant_rate(40.0)]
+        local = GyroPlatform().run(envs, 0.02)
+        sharded = GyroPlatform().run(envs, 0.02, workers=2)
+        for a, b in zip(local, sharded):
+            for field in TRACE_FIELDS:
+                assert np.array_equal(getattr(a, field), getattr(b, field))
+
+    def test_single_environment_rejects_workers(self):
+        with pytest.raises(ConfigurationError, match="single environment"):
+            GyroPlatform().run(Environment.still(), 0.01, workers=2)
+
+    def test_fleet_rejects_sharded(self):
+        platform = GyroPlatform()
+        fleet = platform.make_fleet(2)
+        envs = [Environment.still()] * 2
+        with pytest.raises(ConfigurationError, match="fleet"):
+            platform.run(envs, 0.01, workers=2, fleet=fleet)
+
+    def test_empty_sequence_rejected(self):
+        with pytest.raises(ConfigurationError, match="must not be empty"):
+            GyroPlatform().run([], 0.01)
+
+
+# ---------------------------------------------------------------------------
+# sharded == local equivalence (the tentpole lock)
+# ---------------------------------------------------------------------------
+
+class TestShardedEquivalence:
+    def test_rate_table_campaign_bit_identical(self, started_platform,
+                                               tmp_path):
+        camp = Campaign(rate_table_scenarios([-50.0, 0.0, 50.0],
+                                             settle_s=0.05),
+                        name="rate-table")
+        local = camp.run(copy.deepcopy(started_platform))
+        sharded = camp.run(copy.deepcopy(started_platform), workers=2,
+                           manifest_dir=str(tmp_path))
+        assert_campaigns_identical(local, sharded)
+
+        manifest = CampaignManifest.load(str(tmp_path))
+        assert [s.status for s in manifest.shards] == [SHARD_DONE] * 2
+        assert sorted(i for s in manifest.shards
+                      for i in s.lane_indices) == [0, 1, 2]
+
+        # the returned lane platforms behave bit-identically too
+        follow = Campaign([settled_output_scenario(25.0, settle_s=0.02)])
+        for lane_l, lane_s in zip(local.lanes, sharded.lanes):
+            a = follow.run(lane_l.platform, mutate=True)
+            b = follow.run(lane_s.platform, mutate=True)
+            assert_campaigns_identical(a, b)
+
+    def test_multi_scenario_programs_bit_identical(self, started_platform):
+        # two scenarios per lane: rollover boundaries must agree across
+        # executors even when lanes are split into different shards
+        programs = [[settled_output_scenario(0.0, settle_s=0.04),
+                     settled_output_scenario(30.0, settle_s=0.02)],
+                    [settled_output_scenario(-30.0, settle_s=0.03),
+                     settled_output_scenario(10.0, settle_s=0.03)]]
+        camp = Campaign(programs, name="programs")
+        local = camp.run(copy.deepcopy(started_platform))
+        sharded = camp.run(copy.deepcopy(started_platform), workers=2)
+        assert_campaigns_identical(local, sharded)
+
+    def test_calibration_programs_identical_words(self):
+        local = GyroPlatform()
+        local.calibrate(rates_dps=(-100.0, 0.0, 100.0), settle_s=0.1)
+        sharded = GyroPlatform()
+        sharded.calibrate(rates_dps=(-100.0, 0.0, 100.0), settle_s=0.1,
+                          executor="sharded", workers=2)
+        chain_l = local.conditioner.sense_chain
+        chain_s = sharded.conditioner.sense_chain
+        assert (chain_s.scaler.config.scale_dps_per_unit
+                == chain_l.scaler.config.scale_dps_per_unit)
+        assert chain_s.offset_comp.offset == chain_l.offset_comp.offset
+        assert sharded.calibrated
+
+    def test_sharded_rejects_mutate(self, started_platform):
+        camp = Campaign([settled_output_scenario(0.0, settle_s=0.01)])
+        with pytest.raises(ConfigurationError, match="mutate"):
+            camp.run(copy.deepcopy(started_platform), mutate=True,
+                     executor="sharded")
+
+    def test_sharded_rejects_unpicklable_scenarios(self, started_platform):
+        scenario = Scenario(name="lambda", environment=Environment.still(),
+                            duration_s=0.01,
+                            extractors={"x": lambda p, r: 0.0})
+        camp = Campaign([scenario])
+        with pytest.raises(ConfigurationError, match="picklable"):
+            camp.run(copy.deepcopy(started_platform), workers=2)
+
+
+# ---------------------------------------------------------------------------
+# fault injection, retry and resume
+# ---------------------------------------------------------------------------
+
+@dataclasses.dataclass(frozen=True)
+class FailFirstAttempt:
+    """Picklable fault hook: every shard's first attempt dies."""
+
+    def __call__(self, shard_id: int, attempt: int) -> None:
+        if attempt == 1:
+            raise RuntimeError(f"injected fault on shard {shard_id}")
+
+
+@dataclasses.dataclass(frozen=True)
+class FailShard:
+    """Picklable fault hook: one shard fails on every attempt."""
+
+    shard_id: int
+
+    def __call__(self, shard_id: int, attempt: int) -> None:
+        if shard_id == self.shard_id:
+            raise RuntimeError("injected persistent fault")
+
+
+class TestFaultInjectionAndResume:
+    def test_failed_shards_retry_and_recover(self, started_platform,
+                                             tmp_path):
+        camp = Campaign(rate_table_scenarios([0.0, 40.0], settle_s=0.04),
+                        name="retry")
+        local = camp.run(copy.deepcopy(started_platform))
+        sharded = camp.run(copy.deepcopy(started_platform), workers=2,
+                           manifest_dir=str(tmp_path),
+                           fault_hook=FailFirstAttempt())
+        assert_campaigns_identical(local, sharded)
+        manifest = CampaignManifest.load(str(tmp_path))
+        assert all(s.status == SHARD_DONE for s in manifest.shards)
+        assert all(s.attempts == 2 for s in manifest.shards)
+
+    def test_exhausted_retries_raise_with_resume_pointer(
+            self, started_platform, tmp_path):
+        camp = Campaign(rate_table_scenarios([0.0, 40.0], settle_s=0.04),
+                        name="resume")
+        with pytest.raises(SimulationError) as excinfo:
+            camp.run(copy.deepcopy(started_platform), workers=2,
+                     manifest_dir=str(tmp_path), max_retries=1,
+                     fault_hook=FailShard(1))
+        assert str(tmp_path) in str(excinfo.value)
+        assert "resume" in str(excinfo.value)
+
+        manifest = CampaignManifest.load(str(tmp_path))
+        assert manifest.shards[0].status == SHARD_DONE
+        assert manifest.shards[1].status == SHARD_FAILED
+        assert "injected persistent fault" in manifest.shards[1].error
+        assert os.path.exists(manifest.shard_result_path(0))
+        attempts_before = manifest.shards[0].attempts
+
+        # resume without the fault: only the failed shard re-runs, and
+        # the assembled result matches the all-local run bit for bit
+        resumed = camp.run(copy.deepcopy(started_platform), workers=2,
+                           manifest_dir=str(tmp_path))
+        local = camp.run(copy.deepcopy(started_platform))
+        assert_campaigns_identical(local, resumed)
+        manifest = CampaignManifest.load(str(tmp_path))
+        assert all(s.status == SHARD_DONE for s in manifest.shards)
+        assert manifest.shards[0].attempts == attempts_before
+
+    def test_resume_rejects_different_campaign(self, started_platform,
+                                               tmp_path):
+        camp = Campaign(rate_table_scenarios([0.0, 40.0], settle_s=0.04),
+                        name="original")
+        camp.run(copy.deepcopy(started_platform), workers=2,
+                 manifest_dir=str(tmp_path))
+        other = Campaign(rate_table_scenarios([0.0, 40.0], settle_s=0.04),
+                         name="imposter")
+        with pytest.raises(ConfigurationError, match="different campaign"):
+            other.run(copy.deepcopy(started_platform), workers=2,
+                      manifest_dir=str(tmp_path))
+
+    def test_shard_size_controls_partition(self, started_platform,
+                                           tmp_path):
+        camp = Campaign(rate_table_scenarios([-40.0, 0.0, 40.0],
+                                             settle_s=0.03),
+                        name="partition")
+        local = camp.run(copy.deepcopy(started_platform))
+        sharded = camp.run(copy.deepcopy(started_platform), workers=2,
+                           shard_size=1, manifest_dir=str(tmp_path))
+        assert_campaigns_identical(local, sharded)
+        manifest = CampaignManifest.load(str(tmp_path))
+        assert len(manifest.shards) == 3
+        assert [s.lane_indices for s in manifest.shards] == [[0], [1], [2]]
