@@ -1,0 +1,171 @@
+"""Fault-injection campaign: break every device on purpose, on a grid.
+
+Builds a small population of simulated devices (nominal part plus seeded
+part-to-part variations), crosses it with a grid of fault models — AFE
+saturation, supply droop, sensor dropout, a stuck ADC and a stuck trim
+register — and runs the full device x fault resilience matrix as one
+sharded campaign.  Every cell reports the standard resilience metrics
+(detection latency, time in saturation, post-fault bias shift and a
+survived/failed verdict) and the matrix is written out as a JSON
+artifact.
+
+The campaign rides the quarantine semantics of the sharded executor: a
+shard that keeps failing is reported in ``failed_shards`` and its cells
+show up as ``null`` rows in the artifact instead of sinking the whole
+matrix.
+
+After the matrix, the example closes the loop in software: the 8051
+subsystem is attached to a latched device's safety registers, the
+safe-mode service firmware polls the latch over the bridge and clears it
+by kicking the safety watchdog — the detect -> degrade -> recover path
+of the paper's "CPU constantly checks the system status" routine.
+
+Run with:  python examples/fault_campaign.py [--devices 3] [--workers 2]
+           [--smoke] [--out runs/resilience_matrix.json]
+"""
+
+import argparse
+import copy
+import json
+
+import numpy as np
+
+from repro.faults import (
+    AfeSaturation,
+    SensorDropout,
+    StuckAdcCode,
+    StuckRegisterField,
+    SupplyDroop,
+)
+from repro.mcu.subsystem import McuSubsystem
+from repro.platform import GyroPlatform, GyroPlatformConfig
+from repro.scenarios import Campaign, fault_scenario
+
+METRICS = ("detection_latency_s", "time_in_saturation_s",
+           "post_fault_bias_shift_dps", "survived")
+
+
+def fault_grid(duration_s: float) -> dict:
+    """The fault models of the resilience matrix, windowed to fit."""
+    start = duration_s / 3.0
+    stop = 2.0 * duration_s / 3.0
+    return {
+        "afe_saturation": AfeSaturation(t_start=start, t_stop=stop),
+        "supply_droop": SupplyDroop(t_start=start, t_stop=stop, scale=0.8),
+        "sensor_dropout": SensorDropout(t_start=start, t_stop=stop),
+        "stuck_adc": StuckAdcCode(t_start=start, t_stop=stop,
+                                  channel="secondary", code=200),
+        "stuck_trim": StuckRegisterField(t_start=start, t_stop=stop,
+                                         register="afe_secondary_gain",
+                                         value=0),
+    }
+
+
+def device_fleet(n: int, seed: int) -> list:
+    """``n`` started devices: the nominal part plus seeded variations."""
+    rng = np.random.default_rng(seed)
+    devices = []
+    for index in range(n):
+        cfg = GyroPlatformConfig()
+        if index:
+            cfg.sensor = cfg.sensor.with_part_variation(rng)
+        platform = GyroPlatform(cfg)
+        platform.start()
+        devices.append(platform)
+    return devices
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--devices", type=int, default=3,
+                        help="device population size (default 3)")
+    parser.add_argument("--workers", type=int, default=2,
+                        help="worker processes for the sharded executor")
+    parser.add_argument("--duration", type=float, default=0.03,
+                        help="seconds simulated per matrix cell")
+    parser.add_argument("--rate", type=float, default=80.0,
+                        help="applied rate during the fault in deg/s")
+    parser.add_argument("--manifest-dir", default=None,
+                        help="manifest directory for resumable runs")
+    parser.add_argument("--out", default="resilience_matrix.json",
+                        help="path of the JSON matrix artifact")
+    parser.add_argument("--smoke", action="store_true",
+                        help="tiny matrix for CI: 2 devices, 2 faults")
+    parser.add_argument("--seed", type=int, default=42)
+    args = parser.parse_args()
+
+    n_devices = 2 if args.smoke else args.devices
+    faults = fault_grid(args.duration)
+    if args.smoke:
+        faults = {k: faults[k] for k in ("afe_saturation", "stuck_adc")}
+
+    print(f"Starting {n_devices} devices...")
+    devices = device_fleet(n_devices, args.seed)
+
+    # one lane per (device, fault) cell: each lane gets its own copy of
+    # the started device, so faulted cells cannot contaminate each other
+    cells = [(d, f) for d in range(n_devices) for f in faults]
+    platforms = [copy.deepcopy(devices[d]) for d, _ in cells]
+    programs = [fault_scenario(faults[name], rate_dps=args.rate,
+                               duration_s=args.duration,
+                               name=f"dev{d}:{name}")
+                for d, name in cells]
+
+    print(f"Running the {n_devices} x {len(faults)} resilience matrix "
+          f"({len(cells)} lanes) on the sharded executor...")
+    result = Campaign(programs, name="fault-matrix").run(
+        platforms=platforms, executor="sharded", workers=args.workers,
+        manifest_dir=args.manifest_dir)
+
+    matrix = []
+    for (d, name), lane in zip(cells, result.lanes):
+        row = {"device": d, "fault": name}
+        if lane is None:
+            row["metrics"] = None       # lane lost to a quarantined shard
+        else:
+            row["metrics"] = {m: lane.outcomes[0].metrics[m]
+                              for m in METRICS}
+        matrix.append(row)
+    artifact = {"devices": n_devices, "faults": sorted(faults),
+                "rate_dps": args.rate, "duration_s": args.duration,
+                "matrix": matrix, "failed_shards": result.failed_shards}
+    with open(args.out, "w", encoding="utf-8") as fh:
+        json.dump(artifact, fh, indent=2)
+    print(f"Matrix written to {args.out}")
+
+    header = f"  {'device':>6s}  {'fault':16s}  {'latency':>9s}  " \
+             f"{'sat time':>9s}  {'bias shift':>11s}  verdict"
+    print(header)
+    for row in matrix:
+        if row["metrics"] is None:
+            print(f"  {row['device']:6d}  {row['fault']:16s}  "
+                  f"{'-- lane lost to a quarantined shard --':>40s}")
+            continue
+        m = row["metrics"]
+        latency = ("    never" if m["detection_latency_s"] is None
+                   else f"{1000 * m['detection_latency_s']:7.2f}ms")
+        print(f"  {row['device']:6d}  {row['fault']:16s}  {latency:>9s}  "
+              f"{1000 * m['time_in_saturation_s']:7.2f}ms  "
+              f"{m['post_fault_bias_shift_dps']:+9.4f}dps  "
+              f"{'SURVIVED' if m['survived'] else 'FAILED'}")
+    if result.failed_shards:
+        print(f"\n{len(result.failed_shards)} shard(s) quarantined; re-run "
+              "with the same --manifest-dir to fill in the missing cells")
+
+    # -- close the loop in software: firmware services the latch -----------
+    latched = next((lane for (_, name), lane in zip(cells, result.lanes)
+                    if lane is not None and name == "afe_saturation"
+                    and lane.outcomes[0].result.safe_mode), None)
+    if latched is not None:
+        print("\nAttaching the 8051 to a latched device's safety bank...")
+        mcu = McuSubsystem()
+        mcu.connect_safety_registers(latched.platform.safety.registers)
+        mcu.load_safety_firmware()
+        mcu.run()
+        rx = mcu.uart.transmitted_bytes()
+        print(f"  firmware saw status 0x{rx[0]:02X} (safe mode latched), "
+              f"kicked the watchdog, re-read 0x{rx[1]:02X} (cleared)")
+
+
+if __name__ == "__main__":
+    main()

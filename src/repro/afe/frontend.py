@@ -259,3 +259,5 @@ class GyroAnalogFrontEnd:
         self.drive_dac.reset()
         self.control_dac.reset()
         self.rate_output_dac.reset()
+        self._overload = False
+        self.trim.register("afe_status").hw_write_field("overload", 0)

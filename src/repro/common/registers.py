@@ -64,6 +64,12 @@ class BitField:
 class Register:
     """A single register with optional bit fields and access control."""
 
+    # class-level defaults so pickles from before the fault-injection
+    # fabric (no force state / write hooks in __dict__) keep working
+    _force_mask = 0
+    _force_value = 0
+    _write_hooks: "Tuple[Callable[[int], None], ...]" = ()
+
     def __init__(self, name: str, address: int, width: int = 16,
                  access: str = "rw", reset: int = 0,
                  fields: Optional[List[BitField]] = None, doc: str = ""):
@@ -107,8 +113,18 @@ class Register:
 
     @property
     def value(self) -> int:
-        """Current register value (always masked to the register width)."""
-        return self._value & self._mask()
+        """Current register value (always masked to the register width).
+
+        Forced bits (:meth:`force`) override the stored value on every
+        read path until :meth:`release`; writes keep updating the stored
+        value underneath, so releasing the force exposes the state the
+        hardware and bus writes maintained all along — exactly how a
+        stuck-at fault behaves in silicon.
+        """
+        word = self._value & self._mask()
+        if self._force_mask:
+            word = (word & ~self._force_mask) | self._force_value
+        return word
 
     def read(self) -> int:
         """Bus read: returns the current value (all access modes are readable)."""
@@ -120,22 +136,54 @@ class Register:
         * ``rw``  — value is stored.
         * ``ro``  — write is ignored (hardware-owned register).
         * ``w1c`` — writing 1 to a bit clears it (interrupt-flag style).
+
+        Per-register write hooks (:meth:`on_write`) fire after any
+        non-``ro`` write, including writes arriving through the MCU bus
+        bridge, which addresses registers directly.
         """
         value &= self._mask()
         if self.access == "ro":
             return
         if self.access == "w1c":
             self._value &= ~value & self._mask()
-            return
-        self._value = value
+        else:
+            self._value = value
+        for hook in self._write_hooks:
+            hook(self.value)
 
     def hw_write(self, value: int) -> None:
         """Hardware-side write that bypasses access control."""
         self._value = value & self._mask()
 
+    def force(self, mask: int, value: int) -> None:
+        """Force the masked bits to ``value`` on every read (stuck-at fault).
+
+        Fault-injection entry point: the forced bits shadow the stored
+        value for :meth:`read`/:attr:`value`/:meth:`read_field` across
+        all access modes (RO status bits, RW controls, W1C flags) while
+        bus and hardware writes keep updating the underlying storage.
+        """
+        mask &= self._mask()
+        self._force_mask = mask
+        self._force_value = value & mask
+
+    def release(self) -> None:
+        """Remove any forced bits (the stored value shows through again)."""
+        self._force_mask = 0
+        self._force_value = 0
+
+    @property
+    def forced(self) -> bool:
+        """Whether any bits are currently forced."""
+        return bool(self._force_mask)
+
+    def on_write(self, callback: Callable[[int], None]) -> None:
+        """Attach a hook fired after every non-RO bus write (any path)."""
+        self._write_hooks = tuple(self._write_hooks) + (callback,)
+
     def read_field(self, field_name: str) -> int:
-        """Read a named bit field."""
-        return self._field(field_name).extract(self._value)
+        """Read a named bit field (sees forced bits, like any read)."""
+        return self._field(field_name).extract(self.value)
 
     def write_field(self, field_name: str, value: int) -> None:
         """Write a named bit field (honours access mode via :meth:`write`)."""
@@ -240,6 +288,18 @@ class RegisterFile:
         """Register a callback fired after a bus write to ``name``."""
         self.register(name)  # validate
         self._write_callbacks.setdefault(name, []).append(callback)
+
+    def refresh(self, name: str) -> None:
+        """Re-fire ``name``'s write callbacks with its current value.
+
+        Used by fault injection: forcing bits of a control register
+        (:meth:`Register.force`) changes what reads observe without a
+        bus write, so the blocks tuned by this register are re-notified
+        to bring their state in line with the (now forced) value.
+        """
+        reg = self.register(name)
+        for callback in self._write_callbacks.get(name, []):
+            callback(reg.value)
 
     def reset(self) -> None:
         """Reset every register to its reset value."""

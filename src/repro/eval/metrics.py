@@ -267,3 +267,87 @@ class GyroCharacterization:
             operating_temp_c=(-40.0, 85.0),
             details={"rate_points": len(cfg.rate_points_dps)},
         )
+
+
+# ---------------------------------------------------------------------------
+# Resilience extractors (fault-injection campaigns)
+# ---------------------------------------------------------------------------
+#
+# Picklable frozen-dataclass extractors (the scenario-library discipline)
+# that reduce a faulted scenario's traces and safe-mode snapshot to the
+# resilience figures the fault campaigns report.  They read the
+# ``safe_mode_*`` / ``overload_time_s`` fields the campaign runner stamps
+# onto every :class:`~repro.platform.result.GyroSimulationResult`.
+
+
+@dataclass(frozen=True)
+class DetectionLatency:
+    """Extractor: fault onset to safe-mode latch, in seconds (or None).
+
+    ``fault_start_s`` is the fault's activation time relative to the
+    scenario start; the latch time is absolute simulation time, so the
+    record's first timestamp anchors the conversion.  None when the
+    monitor never latched.
+    """
+
+    fault_start_s: float = 0.0
+
+    def __call__(self, platform, result) -> Optional[float]:
+        if result.safe_mode_entry_s is None or result.time_s.size == 0:
+            return None
+        onset = float(result.time_s[0]) + self.fault_start_s
+        return float(result.safe_mode_entry_s) - onset
+
+
+@dataclass(frozen=True)
+class TimeInSaturation:
+    """Extractor: accumulated front-end overload time, in seconds."""
+
+    def __call__(self, platform, result) -> float:
+        return float(result.overload_time_s or 0.0)
+
+
+@dataclass(frozen=True)
+class PostFaultBiasShift:
+    """Extractor: settled-output shift across a fault window, in °/s.
+
+    Compares the mean rate output over the tail of the pre-fault
+    interval against the tail of the post-recovery interval; a platform
+    that degrades gracefully recovers to (near) its pre-fault bias.
+    """
+
+    fault_start_s: float = 0.01
+    fault_stop_s: float = 0.02
+    fraction: float = 0.5
+
+    def __call__(self, platform, result) -> float:
+        t_rel = result.time_s - result.time_s[0]
+        pre = result.rate_output_dps[t_rel < self.fault_start_s]
+        post = result.rate_output_dps[t_rel >= self.fault_stop_s]
+        if pre.size == 0 or post.size == 0:
+            return float("nan")
+        pre_tail = pre[int(pre.size * (1.0 - self.fraction)):]
+        post_tail = post[int(post.size * (1.0 - self.fraction)):]
+        return float(np.mean(post_tail) - np.mean(pre_tail))
+
+
+@dataclass(frozen=True)
+class SurvivedVerdict:
+    """Extractor: did the platform survive the fault? (bool)
+
+    Survival means the conditioning chain still reports RUNNING at the
+    end of the record and the post-recovery output bias returned to
+    within ``tolerance_dps`` of the pre-fault bias.
+    """
+
+    fault_start_s: float = 0.01
+    fault_stop_s: float = 0.02
+    tolerance_dps: float = 10.0
+    fraction: float = 0.5
+
+    def __call__(self, platform, result) -> bool:
+        if result.running.size == 0 or not bool(result.running[-1]):
+            return False
+        shift = PostFaultBiasShift(self.fault_start_s, self.fault_stop_s,
+                                   self.fraction)(platform, result)
+        return bool(np.isfinite(shift) and abs(shift) <= self.tolerance_dps)

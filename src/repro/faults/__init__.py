@@ -1,0 +1,28 @@
+"""Declarative fault models for resilience campaigns.
+
+The paper's robustness story rests on "several readable registers
+spread along the processing chain" and digitally-trimmed analog cells —
+this package breaks those cells *on purpose* so campaigns can measure
+that the platform detects, degrades and recovers.  Each fault model is
+a small frozen (picklable) dataclass with an activation window; the
+campaign runner arms and disarms them at chunk boundaries, which keeps
+faulted scenarios bit-identical across every engine and executor.
+"""
+
+from .models import (
+    AfeSaturation,
+    FaultModel,
+    SensorDropout,
+    StuckAdcCode,
+    StuckRegisterField,
+    SupplyDroop,
+)
+
+__all__ = [
+    "FaultModel",
+    "StuckRegisterField",
+    "AfeSaturation",
+    "SupplyDroop",
+    "SensorDropout",
+    "StuckAdcCode",
+]

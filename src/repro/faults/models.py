@@ -1,0 +1,326 @@
+"""Picklable fault models armed/disarmed by the campaign runner.
+
+Every model is a frozen dataclass describing *what breaks* and *when*:
+
+* :class:`StuckRegisterField` — stuck-at bits in the trim register
+  fabric (RO status bits, RW controls, W1C flags alike).
+* :class:`AfeSaturation` — pins the charge-amplifier front end against
+  its rails so both acquisition channels clip.
+* :class:`SupplyDroop` — scales every AFE reference (ADC/DAC vrefs,
+  supply rail, bandgap) by a time profile.
+* :class:`SensorDropout` — zeroes the MEMS pick-off gain.
+* :class:`StuckAdcCode` — wedges a SAR ADC at one output code.
+
+The mechanics that make faulted runs bit-identical across engines: a
+fault only ever mutates *platform state that every engine reads at
+chunk entry* (configs, converter resolutions, register values), and the
+campaign runner applies :meth:`FaultModel.inject` /
+:meth:`FaultModel.restore` exclusively at chunk boundaries, adding the
+activation edges to the lane's own boundary grid.  No engine contains
+any fault-specific code.
+
+Models are declarative and stateless: :meth:`inject` returns a saved
+snapshot that :meth:`restore` consumes, so one fault object can run on
+many lanes (and travel through the sharded executor's pickled shard
+payloads) concurrently.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from ..common.exceptions import ConfigurationError
+from ..common.units import ROOM_TEMPERATURE_C
+
+
+@dataclass(frozen=True)
+class FaultModel:
+    """Base fault model: an activation window plus inject/restore hooks.
+
+    Attributes:
+        t_start: activation time, seconds from scenario start.
+        t_stop: deactivation time; ``None`` keeps the fault active until
+            the scenario ends (a *permanent* fault — the campaign still
+            restores the platform when the scenario completes, so the
+            scenario stays the replayable unit).
+    """
+
+    t_start: float = 0.0
+    t_stop: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.t_start < 0:
+            raise ConfigurationError("fault t_start must be >= 0")
+        if self.t_stop is not None and self.t_stop <= self.t_start:
+            raise ConfigurationError("fault t_stop must be > t_start")
+
+    def edges(self) -> List[float]:
+        """Times (scenario-relative) where the lane needs a chunk boundary."""
+        out = [self.t_start]
+        if self.t_stop is not None:
+            out.append(self.t_stop)
+        return out
+
+    def inject(self, platform) -> dict:
+        """Apply the fault; return the snapshot :meth:`restore` consumes."""
+        raise NotImplementedError
+
+    def update(self, platform, t_s: float, saved: dict) -> None:
+        """Re-evaluate a time-profiled fault at a chunk boundary.
+
+        Called at every boundary while the fault is armed, with ``t_s``
+        the current scenario-relative time.  The default is a no-op;
+        only profiled faults (:class:`SupplyDroop`) override it.
+        """
+
+    def restore(self, platform, saved: dict) -> None:
+        """Undo the fault from the snapshot :meth:`inject` returned."""
+        raise NotImplementedError
+
+    def digest_token(self) -> str:
+        """Stable textual identity for scenario digests.
+
+        Frozen-dataclass reprs are deterministic functions of the field
+        values, so the token is stable across processes and sessions.
+        """
+        return repr(self)
+
+
+@dataclass(frozen=True)
+class StuckRegisterField(FaultModel):
+    """Force bits of a trim-bank register to a fixed value.
+
+    Exercises the :class:`~repro.common.registers.RegisterFile` fabric's
+    stuck-at path: the forced bits shadow every read (RO, RW and W1C
+    registers alike) while bus/hardware writes keep updating the storage
+    underneath.  Control registers re-notify their write callbacks on
+    inject and release, so the analog blocks they tune follow the fault.
+
+    Attributes:
+        register: trim-bank register name (e.g. ``"afe_secondary_gain"``).
+        field: bit-field name within the register; ``None`` forces the
+            whole register word.
+        value: stuck value of the field (or word).
+    """
+
+    register: str = ""
+    field: Optional[str] = None
+    value: int = 0
+
+    def _bank(self, platform):
+        if not self.register:
+            raise ConfigurationError("StuckRegisterField needs a register name")
+        return platform.frontend.trim
+
+    def inject(self, platform) -> dict:
+        bank = self._bank(platform)
+        reg = bank.register(self.register)
+        if self.field is not None:
+            bitfield = reg._field(self.field)
+            mask = bitfield.mask
+            forced = bitfield.insert(0, self.value)
+        else:
+            mask = (1 << reg.width) - 1
+            forced = self.value & mask
+        reg.force(mask, forced)
+        bank.refresh(self.register)
+        return {"register": self.register}
+
+    def restore(self, platform, saved: dict) -> None:
+        bank = self._bank(platform)
+        bank.register(saved["register"]).release()
+        bank.refresh(saved["register"])
+
+
+@dataclass(frozen=True)
+class AfeSaturation(FaultModel):
+    """Pin the analog front end into overload for the window.
+
+    Injects a large input-referred offset into the (shared) charge
+    amplifier so both acquisition channels slam against the ±rail and
+    the anti-alias outputs sit above the overload threshold — the
+    condition :attr:`GyroAnalogFrontEnd.overload` reports and the
+    platform's safe-mode monitor latches on.
+
+    Attributes:
+        drive_v: offset forced onto the charge-amplifier path; anything
+            beyond the amplifier rail (2.5 V default) saturates the
+            channel.
+    """
+
+    drive_v: float = 10.0
+
+    def inject(self, platform) -> dict:
+        cfg = platform.frontend.config.charge_amplifier
+        saved = {"offset_v": cfg.offset_v}
+        cfg.offset_v = self.drive_v
+        return saved
+
+    def restore(self, platform, saved: dict) -> None:
+        platform.frontend.config.charge_amplifier.offset_v = saved["offset_v"]
+
+
+@dataclass(frozen=True)
+class SupplyDroop(FaultModel):
+    """Scale every AFE reference by a (piecewise-constant) time profile.
+
+    Models a supply brown-out: the ADC references, every DAC reference,
+    the supply rail and the bandgap all sag together (ratiometric
+    system), so conversions, drive levels and the rate output shift
+    coherently.  The droop is ``scale`` over the whole window by
+    default; ``profile`` refines it as ``(t_offset_s, scale)`` steps
+    relative to ``t_start``, each step becoming a chunk boundary.
+
+    Attributes:
+        scale: reference multiplier while active (0.9 = 10 % droop).
+        profile: optional piecewise-constant refinement.
+    """
+
+    scale: float = 0.9
+    profile: Tuple[Tuple[float, float], ...] = ()
+
+    def __post_init__(self) -> None:
+        FaultModel.__post_init__(self)
+        if self.scale <= 0:
+            raise ConfigurationError("droop scale must be > 0")
+        offsets = [t for t, _ in self.profile]
+        if any(t < 0 for t in offsets) or offsets != sorted(offsets):
+            raise ConfigurationError(
+                "droop profile offsets must be >= 0 and ascending")
+        if any(s <= 0 for _, s in self.profile):
+            raise ConfigurationError("droop profile scales must be > 0")
+
+    def edges(self) -> List[float]:
+        out = FaultModel.edges(self)
+        out.extend(self.t_start + t for t, _ in self.profile)
+        return out
+
+    def _scale_at(self, t_s: float) -> float:
+        scale = self.scale
+        for offset, step_scale in self.profile:
+            if t_s - self.t_start >= offset:
+                scale = step_scale
+        return scale
+
+    @staticmethod
+    def _references(platform):
+        fe = platform.frontend
+        # primary_adc shares the frontend config's AdcConfig while
+        # secondary_adc / control_dac own copies — each must be scaled
+        converters = (fe.primary_adc, fe.secondary_adc)
+        dacs = (fe.drive_dac, fe.control_dac, fe.rate_output_dac)
+        return fe, converters, dacs
+
+    def _apply(self, platform, scale: float, saved: dict) -> None:
+        fe, converters, dacs = self._references(platform)
+        for adc, nominal in zip(converters, saved["adc_vref"]):
+            adc.config.vref = nominal * scale
+            adc._update_resolution()
+        for dac, nominal in zip(dacs, saved["dac_vref"]):
+            dac.config.vref = nominal * scale
+            dac._update_resolution()
+        fe.supply.config.nominal_v = saved["supply_v"] * scale
+        fe.reference.config.nominal = saved["reference_v"] * scale
+
+    def inject(self, platform) -> dict:
+        fe, converters, dacs = self._references(platform)
+        saved = {
+            "adc_vref": [adc.config.vref for adc in converters],
+            "dac_vref": [dac.config.vref for dac in dacs],
+            "supply_v": fe.supply.config.nominal_v,
+            "reference_v": fe.reference.config.nominal,
+        }
+        self._apply(platform, self._scale_at(self.t_start), saved)
+        return saved
+
+    def update(self, platform, t_s: float, saved: dict) -> None:
+        self._apply(platform, self._scale_at(t_s), saved)
+
+    def restore(self, platform, saved: dict) -> None:
+        self._apply(platform, 1.0, saved)
+
+
+@dataclass(frozen=True)
+class SensorDropout(FaultModel):
+    """Zero the MEMS pick-off gain (both channels read nothing).
+
+    The vibrating-ring model derives one pick-off gain from
+    ``GyroParameters.pickoff_gain_v_per_m`` (with its temperature
+    coefficient), shared by the primary and secondary channels — a
+    dropout silences both, exactly like a broken pick-off bond wire.
+    """
+
+    def inject(self, platform) -> dict:
+        sensor = platform.sensor
+        saved = {"gain_param": sensor.params.pickoff_gain_v_per_m}
+        # frozen dataclass: bypass __setattr__ the way a broken bond
+        # wire bypasses the datasheet
+        object.__setattr__(sensor.params, "pickoff_gain_v_per_m", 0.0)
+        sensor._pickoff_gain = 0.0
+        return saved
+
+    def restore(self, platform, saved: dict) -> None:
+        sensor = platform.sensor
+        object.__setattr__(sensor.params, "pickoff_gain_v_per_m",
+                           saved["gain_param"])
+        # recompute the derived gain exactly as _apply_temperature would
+        # at the last applied temperature (bit-identical restore)
+        p = sensor.params
+        last = sensor._last_temp_applied
+        dt_c = 0.0 if last is None else last - ROOM_TEMPERATURE_C
+        sensor._pickoff_gain = (p.pickoff_gain_v_per_m
+                                * (1.0 + p.pickoff_tc_ppm_per_c * 1e-6 * dt_c))
+
+
+@dataclass(frozen=True)
+class StuckAdcCode(FaultModel):
+    """Wedge a SAR ADC at one output code.
+
+    Clamps the converter's code range to a single value so every
+    conversion returns ``code`` regardless of the input (noise streams
+    are still consumed, preserving bit-identity of the other channel).
+
+    Attributes:
+        channel: ``"primary"``, ``"secondary"`` or ``"both"``.
+        code: the stuck signed output code.
+    """
+
+    channel: str = "secondary"
+    code: int = 0
+
+    def __post_init__(self) -> None:
+        FaultModel.__post_init__(self)
+        if self.channel not in ("primary", "secondary", "both"):
+            raise ConfigurationError(
+                "StuckAdcCode channel must be 'primary', 'secondary' or "
+                f"'both', got {self.channel!r}")
+
+    def _adcs(self, platform):
+        fe = platform.frontend
+        if self.channel == "primary":
+            return [fe.primary_adc]
+        if self.channel == "secondary":
+            return [fe.secondary_adc]
+        return [fe.primary_adc, fe.secondary_adc]
+
+    def inject(self, platform) -> dict:
+        for adc in self._adcs(platform):
+            adc._code_min = self.code
+            adc._code_max = self.code
+        return {"channel": self.channel}
+
+    def restore(self, platform, saved: dict) -> None:
+        for adc in self._adcs(platform):
+            # the code range is derived purely from the (intact) config
+            adc._update_resolution()
+
+
+def validate_fault(fault) -> None:
+    """Duck-type check that an object implements the fault protocol."""
+    for attr in ("t_start", "t_stop", "edges", "inject", "restore",
+                 "update", "digest_token"):
+        if not hasattr(fault, attr):
+            raise ConfigurationError(
+                f"{fault!r} is not a fault model (missing {attr!r}); use "
+                "the models in repro.faults or implement the same protocol")

@@ -91,6 +91,43 @@ HALT:
 """
 
 
+#: Safe-mode service firmware (assembly source).
+#:
+#: The graceful-degradation counterpart of the monitor routine: poll the
+#: safety status register, report it over the UART, and if the safe-mode
+#: latch is set, service it by kicking the safety watchdog — then report
+#: the cleared status so the host sees the recovery.
+SAFETY_FIRMWARE_SOURCE = """
+; -------------------------------------------------------------------
+; Gyro platform safe-mode service firmware
+;   - read safety_status over the bridge (MOVX @ 0x8200)
+;   - send the raw status byte over the UART
+;   - if the safe-mode latch (bit 0) is set, kick the safety watchdog
+;     (write 1 to 0x8204) to clear it
+;   - re-read and send the status byte, then halt
+; -------------------------------------------------------------------
+SBUF        EQU 0x99
+
+START:
+    MOV DPTR, #0x8200       ; safety_status, low byte
+    MOVX A, @DPTR
+    MOV SBUF, A             ; report status as seen
+    ANL A, #0x01            ; isolate the safe-mode latch
+    JZ DONE
+
+    MOV A, #0x01            ; kick = 1
+    MOV DPTR, #0x8204       ; safety_watchdog, low byte
+    MOVX @DPTR, A
+
+DONE:
+    MOV DPTR, #0x8200
+    MOVX A, @DPTR
+    MOV SBUF, A             ; report status after service
+HALT:
+    SJMP HALT
+"""
+
+
 class McuSubsystem:
     """8051 subsystem with buses, peripherals, JTAG and firmware support."""
 
@@ -121,6 +158,15 @@ class McuSubsystem:
         self.bridge.attach_register_file(trim_registers)
         self.jtag.trim_registers = trim_registers
 
+    def connect_safety_registers(self, registers: RegisterFile) -> None:
+        """Expose the safe-mode monitor's registers through the bridge.
+
+        Pass ``platform.safety.registers``; firmware can then poll
+        ``safety_status`` at MOVX 0x8200 and clear the latch by writing
+        the ``safety_watchdog`` kick bit at 0x8204.
+        """
+        self.bridge.attach_register_file(registers)
+
     # -- firmware ----------------------------------------------------------------------
 
     def load_firmware_source(self, source: str, origin: int = 0) -> bytes:
@@ -132,6 +178,10 @@ class McuSubsystem:
     def load_monitor_firmware(self) -> bytes:
         """Load the built-in monitoring/communication firmware."""
         return self.load_firmware_source(MONITOR_FIRMWARE_SOURCE)
+
+    def load_safety_firmware(self) -> bytes:
+        """Load the built-in safe-mode service firmware."""
+        return self.load_firmware_source(SAFETY_FIRMWARE_SOURCE)
 
     def download_firmware_via_uart(self, image: bytes, origin: int = 0) -> None:
         """Model the prototype boot path: program download over the UART.

@@ -12,6 +12,7 @@ This is the object the evaluation harness and the benchmarks drive.
 
 from __future__ import annotations
 
+import dataclasses
 import warnings
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence, Tuple, Union
@@ -31,6 +32,7 @@ from ..scenarios.engines import ENGINE_BATCHED, get_engine, validate_engine
 from ..sensors.environment import Environment
 from ..sensors.gyro import GyroParameters, VibratingRingGyro
 from .result import GyroSimulationResult
+from .safety import SafeModeMonitor
 
 
 @dataclass
@@ -100,6 +102,7 @@ class GyroPlatform:
         self.sensor = VibratingRingGyro(cfg.sensor, cfg.sample_rate_hz)
         self.frontend = GyroAnalogFrontEnd(cfg.frontend)
         self.conditioner = GyroConditioner(cfg.conditioner)
+        self.safety = SafeModeMonitor()
         self._drive_v = 0.0
         self._control_v = 0.0
         self._time_s = 0.0
@@ -117,6 +120,7 @@ class GyroPlatform:
         self.sensor.reset()
         self.frontend.reset()
         self.conditioner.reset()
+        self.safety.reset()
         self._drive_v = 0.0
         self._control_v = 0.0
         self._time_s = 0.0
@@ -184,7 +188,11 @@ class GyroPlatform:
             spec = get_engine(engine or self.config.engine, scalar_only=True)
             if reset:
                 self.reset()
-            return spec.run(self, environment, duration_s, record_waveforms)
+            result = spec.run(self, environment, duration_s, record_waveforms)
+            self.safety.observe(self._time_s, self.frontend.overload,
+                                duration_s)
+            return dataclasses.replace(result,
+                                       **self.safety.result_fields())
         if fleet is not None:
             if workers not in (None, 1) or executor not in (None, "local"):
                 raise ConfigurationError(

@@ -33,6 +33,11 @@ class GyroSimulationResult:
             recorded only when waveform recording is enabled).
         drive_word: drive-DAC word trace (optional).
         turn_on_time_s: measured turn-on time, if start-up completed.
+        safe_mode: safe-mode latch state at the end of the run (None
+            when no safe-mode monitor observed the run).
+        safe_mode_events: overload episodes latched during the run.
+        safe_mode_entry_s: time the latch first set, or None.
+        overload_time_s: accumulated time the front end spent saturated.
     """
 
     time_s: np.ndarray
@@ -50,6 +55,10 @@ class GyroSimulationResult:
     primary_pickoff_norm: Optional[np.ndarray] = None
     drive_word: Optional[np.ndarray] = None
     turn_on_time_s: Optional[float] = None
+    safe_mode: Optional[bool] = None
+    safe_mode_events: Optional[int] = None
+    safe_mode_entry_s: Optional[float] = None
+    overload_time_s: Optional[float] = None
 
     def __post_init__(self) -> None:
         n = self.time_s.size
@@ -106,6 +115,8 @@ class GyroSimulationResult:
                      "rate_output_dps", "rate_output_v", "amplitude_control",
                      "amplitude_error", "phase_error", "vco_control")
     _BOOL_TRACES = ("pll_locked", "running")
+    _SCALARS = ("turn_on_time_s", "safe_mode", "safe_mode_events",
+                "safe_mode_entry_s", "overload_time_s")
 
     def to_dict(self) -> dict:
         """JSON-compatible dict; :meth:`from_dict` restores it exactly.
@@ -114,8 +125,9 @@ class GyroSimulationResult:
         binary64 precision through ``json`` (repr round-trips), and
         :meth:`from_dict` rebuilds the float64/bool arrays.
         """
-        out = {"sample_rate_hz": self.sample_rate_hz,
-               "turn_on_time_s": self.turn_on_time_s}
+        out = {"sample_rate_hz": self.sample_rate_hz}
+        for name in self._SCALARS:
+            out[name] = getattr(self, name)
         for name in self._FLOAT_TRACES + self._BOOL_TRACES:
             out[name] = getattr(self, name).tolist()
         for name in ("primary_pickoff_norm", "drive_word"):
@@ -126,8 +138,9 @@ class GyroSimulationResult:
     @classmethod
     def from_dict(cls, data: dict) -> "GyroSimulationResult":
         """Rebuild a result from :meth:`to_dict` output, bit-exact."""
-        kwargs = {"sample_rate_hz": data["sample_rate_hz"],
-                  "turn_on_time_s": data.get("turn_on_time_s")}
+        kwargs = {"sample_rate_hz": data["sample_rate_hz"]}
+        for name in cls._SCALARS:
+            kwargs[name] = data.get(name)
         for name in cls._FLOAT_TRACES:
             kwargs[name] = np.asarray(data[name], dtype=np.float64)
         for name in cls._BOOL_TRACES:
@@ -176,4 +189,8 @@ def concatenate_results(results: Sequence["GyroSimulationResult"]
         primary_pickoff_norm=cat("primary_pickoff_norm") if waveforms else None,
         drive_word=cat("drive_word") if waveforms else None,
         turn_on_time_s=last.turn_on_time_s,
+        safe_mode=last.safe_mode,
+        safe_mode_events=last.safe_mode_events,
+        safe_mode_entry_s=last.safe_mode_entry_s,
+        overload_time_s=last.overload_time_s,
     )

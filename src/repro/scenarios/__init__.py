@@ -43,6 +43,8 @@ from .library import (
     TurnOnTime,
     bandwidth_probe_scenario,
     design_validation_scenarios,
+    fault_matrix_scenarios,
+    fault_scenario,
     noise_density_from_record,
     noise_floor_scenario,
     rate_table_scenarios,
@@ -84,6 +86,8 @@ __all__ = [
     "TurnOnTime",
     "bandwidth_probe_scenario",
     "design_validation_scenarios",
+    "fault_matrix_scenarios",
+    "fault_scenario",
     "noise_density_from_record",
     "noise_floor_scenario",
     "rate_table_scenarios",

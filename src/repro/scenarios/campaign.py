@@ -84,10 +84,19 @@ class LaneOutcome:
 
 
 class CampaignResult:
-    """Per-lane outcomes of a campaign run."""
+    """Per-lane outcomes of a campaign run.
 
-    def __init__(self, lanes: List[LaneOutcome]):
+    A sharded campaign whose retries were exhausted returns a *partial*
+    result: quarantined shards are reported in ``failed_shards`` and
+    their lanes are ``None`` in ``lanes``.  Check :attr:`complete` (or
+    ``failed_shards``) before treating the result as exhaustive; resume
+    with the same ``manifest_dir`` to fill in the missing lanes.
+    """
+
+    def __init__(self, lanes: List[Optional[LaneOutcome]],
+                 failed_shards: Optional[List[dict]] = None):
         self.lanes = lanes
+        self.failed_shards = list(failed_shards or [])
 
     def __len__(self) -> int:
         return len(self.lanes)
@@ -95,9 +104,20 @@ class CampaignResult:
     def __iter__(self):
         return iter(self.lanes)
 
+    @property
+    def complete(self) -> bool:
+        """True when every lane produced an outcome."""
+        return not self.failed_shards and all(
+            lane is not None for lane in self.lanes)
+
+    def failed_lane_indices(self) -> List[int]:
+        """Indices of lanes lost to quarantined shards."""
+        return [i for i, lane in enumerate(self.lanes) if lane is None]
+
     def outcomes(self) -> List[ScenarioOutcome]:
-        """All scenario outcomes, lane-major."""
-        return [outcome for lane in self.lanes for outcome in lane.outcomes]
+        """All scenario outcomes, lane-major (missing lanes skipped)."""
+        return [outcome for lane in self.lanes if lane is not None
+                for outcome in lane.outcomes]
 
     def outcome(self, name: str) -> ScenarioOutcome:
         """The first outcome for the scenario called ``name``."""
@@ -118,12 +138,18 @@ class CampaignResult:
 
     def to_dict(self) -> dict:
         """JSON-compatible dict; see :meth:`LaneOutcome.to_dict`."""
-        return {"lanes": [lane.to_dict() for lane in self.lanes]}
+        out = {"lanes": [None if lane is None else lane.to_dict()
+                         for lane in self.lanes]}
+        if self.failed_shards:
+            out["failed_shards"] = list(self.failed_shards)
+        return out
 
     @classmethod
     def from_dict(cls, data: dict) -> "CampaignResult":
         """Rebuild a campaign result (lane platforms become ``None``)."""
-        return cls([LaneOutcome.from_dict(lane) for lane in data["lanes"]])
+        return cls([None if lane is None else LaneOutcome.from_dict(lane)
+                    for lane in data["lanes"]],
+                   failed_shards=data.get("failed_shards"))
 
 
 class _LaneState:
@@ -139,6 +165,9 @@ class _LaneState:
         self._sample = 0          # samples into the current scenario
         self._n_total = 0
         self._n_check = 0
+        self._fault_spans: List = []       # (start, stop) sample windows
+        self._fault_edges: List[int] = []  # interior activation edges
+        self._armed: dict = {}             # fault index -> saved state
         self.done = not self.program
 
     @property
@@ -160,11 +189,60 @@ class _LaneState:
             self._n_check = max(1, int(round(scenario.stop_check_s * self.fs)))
         else:
             self._n_check = self._n_total
+        # quantise the fault windows onto the lane's own sample grid:
+        # fault edges become lane boundaries, so arming/disarming always
+        # happens between engine calls — on every engine identically
+        self._fault_spans = []
+        self._fault_edges = []
+        self._armed = {}
+        edges = set()
+        for fault in scenario.faults:
+            start = min(self._n_total, max(0, int(round(fault.t_start * self.fs))))
+            stop = (self._n_total if fault.t_stop is None
+                    else min(self._n_total, int(round(fault.t_stop * self.fs))))
+            self._fault_spans.append((start, stop))
+            for t_edge in fault.edges():
+                edge = int(round(t_edge * self.fs))
+                if 0 < edge < self._n_total:
+                    edges.add(edge)
+        self._fault_edges = sorted(edges)
+        self._sync_faults()
 
     def samples_to_boundary(self) -> int:
-        """Samples until this lane's next stop check or scenario end."""
+        """Samples until this lane's next stop check, fault edge or end."""
         next_check = (self._sample // self._n_check + 1) * self._n_check
-        return min(next_check, self._n_total) - self._sample
+        boundary = min(next_check, self._n_total)
+        for edge in self._fault_edges:
+            if edge > self._sample:
+                boundary = min(boundary, edge)
+                break
+        return boundary - self._sample
+
+    def _sync_faults(self) -> None:
+        """Arm, update or restore each fault for the current position."""
+        for i, fault in enumerate(self.scenario.faults):
+            start, stop = self._fault_spans[i]
+            active = start <= self._sample < stop
+            if active:
+                if i not in self._armed:
+                    self._armed[i] = fault.inject(self.platform)
+                fault.update(self.platform, self._sample / self.fs,
+                             self._armed[i])
+            elif i in self._armed:
+                fault.restore(self.platform, self._armed.pop(i))
+
+    def _restore_faults(self) -> None:
+        for i in list(self._armed):
+            self.scenario.faults[i].restore(self.platform,
+                                            self._armed.pop(i))
+
+    def _observe_safety(self, samples: int) -> None:
+        monitor = getattr(self.platform, "safety", None)
+        frontend = getattr(self.platform, "frontend", None)
+        if monitor is None or frontend is None:
+            return
+        monitor.observe(self.platform.now, bool(frontend.overload),
+                        samples / self.fs)
 
     def environment(self):
         """The current scenario's stimulus, shifted to the lane position."""
@@ -174,13 +252,16 @@ class _LaneState:
         """Account a finished chunk and roll over completed scenarios."""
         self._segments.append(result)
         self._sample += samples
+        self._observe_safety(samples)
         scenario = self.scenario
         at_check = self._sample % self._n_check == 0
         at_end = self._sample >= self._n_total
         stopped = (scenario.stop is not None and (at_check or at_end)
                    and scenario.stop(self.platform))
         if not stopped and not at_end:
+            self._sync_faults()
             return
+        self._restore_faults()
         if not stopped and scenario.require_stop:
             raise SimulationError(
                 scenario.timeout_message
@@ -198,6 +279,11 @@ class _LaneState:
             # trace-only, so dropping them preserves bit-identity
             result = dataclasses.replace(result, primary_pickoff_norm=None,
                                          drive_word=None)
+        monitor = getattr(self.platform, "safety", None)
+        if monitor is not None:
+            # stamp the safe-mode snapshot before the extractors run so
+            # resilience metrics can read it off the result
+            result = dataclasses.replace(result, **monitor.result_fields())
         metrics = {name: fn(self.platform, result)
                    for name, fn in scenario.extractors.items()}
         self.outcomes.append(ScenarioOutcome(
@@ -249,6 +335,7 @@ class Campaign:
             engine: Optional[str] = None, executor: Optional[str] = None,
             workers: Optional[int] = None, mutate: bool = False,
             manifest_dir=None, max_retries: int = 2,
+            retry_backoff_s: float = 0.0,
             shard_timeout_s: Optional[float] = None,
             shard_size: Optional[int] = None,
             fault_hook=None) -> CampaignResult:
@@ -284,7 +371,15 @@ class Campaign:
                 manifest and shard results; reuse a previous run's
                 directory to resume it.  Defaults to a fresh temp dir.
             max_retries: sharded only — re-runs allowed per failed
-                shard.
+                shard.  A shard still unfinished after its last retry is
+                *quarantined*: the campaign returns a partial
+                :class:`CampaignResult` whose ``failed_shards`` report
+                names it (lanes of quarantined shards are ``None``)
+                instead of raising; resume with the same
+                ``manifest_dir`` to fill them in.
+            retry_backoff_s: sharded only — sleep before each retry
+                round, doubling every round (exponential backoff); 0
+                retries immediately.
             shard_timeout_s: sharded only — wall-clock budget per shard
                 attempt.
             shard_size: sharded only — lanes per shard (default spreads
@@ -308,6 +403,7 @@ class Campaign:
             executor = "sharded" if workers else "local"
         options = ExecutorOptions(workers=workers, manifest_dir=manifest_dir,
                                   max_retries=max_retries,
+                                  retry_backoff_s=retry_backoff_s,
                                   shard_timeout_s=shard_timeout_s,
                                   shard_size=shard_size,
                                   fault_hook=fault_hook)

@@ -37,6 +37,7 @@ import multiprocessing
 import os
 import pickle
 import tempfile
+import time
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures import TimeoutError as _FuturesTimeout
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
@@ -62,6 +63,7 @@ class ExecutorOptions:
     workers: Optional[int] = None
     manifest_dir: Optional[str] = None
     max_retries: int = 2
+    retry_backoff_s: float = 0.0
     shard_timeout_s: Optional[float] = None
     shard_size: Optional[int] = None
     fault_hook: Optional[Callable] = None
@@ -275,12 +277,17 @@ def _run_sharded(campaign: Campaign, source: LaneSource, engine: str,
     directory = options.manifest_dir or tempfile.mkdtemp(
         prefix="repro-campaign-")
     manifest = CampaignManifest.create_or_resume(
-        str(directory), campaign.name, engine, source.digest(), shards)
+        str(directory), campaign.name, engine, source.digest(), shards,
+        retry={"max_retries": options.max_retries,
+               "retry_backoff_s": options.retry_backoff_s})
+    manifest.write()
 
     # verify-and-retry loop: each round first credits shards whose result
     # files already exist and verify (a previous run's completed work, or
-    # a timed-out worker that finished late), then re-runs the rest
-    for _ in range(options.max_retries + 1):
+    # a timed-out worker that finished late), then re-runs the rest —
+    # waiting out an exponential backoff between retry rounds so a
+    # transiently overloaded host gets room to recover
+    for round_index in range(options.max_retries + 1):
         recovered = False
         for shard in manifest.unfinished():
             if manifest.load_shard_result(shard) is not None:
@@ -292,25 +299,25 @@ def _run_sharded(campaign: Campaign, source: LaneSource, engine: str,
         todo = manifest.unfinished()
         if not todo:
             break
+        if round_index and options.retry_backoff_s > 0:
+            time.sleep(options.retry_backoff_s * (2 ** (round_index - 1)))
         _run_round(manifest, campaign, source, engine, options, todo,
                    workers)
 
-    failed = manifest.unfinished()
-    if failed:
-        detail = "; ".join(
-            f"shard {s.shard_id} (lanes {s.lane_indices[0]}"
-            f"-{s.lane_indices[-1]}, {s.attempts} attempts): "
-            f"{s.error or 'no result file'}" for s in failed)
-        raise SimulationError(
-            f"campaign {campaign.name!r}: {len(failed)} of "
-            f"{len(manifest.shards)} shards failed — {detail}. Completed "
-            f"shards are kept in {manifest.directory!r}; re-run "
-            f"Campaign.run(..., executor='sharded', "
-            f"manifest_dir={manifest.directory!r}) to resume without "
-            "re-simulating them")
+    # shards still unfinished after the last retry are quarantined: the
+    # campaign completes with partial results and an explicit failure
+    # report instead of discarding the shards that did succeed
+    failed_shards = [
+        {"shard_id": s.shard_id,
+         "lane_indices": list(s.lane_indices),
+         "attempts": s.attempts,
+         "error": s.error or "no result file"}
+        for s in manifest.unfinished()]
 
     lane_outcomes: List[Optional[LaneOutcome]] = [None] * n_lanes
     for shard in manifest.shards:
+        if shard.status != SHARD_DONE:
+            continue
         payload = manifest.load_shard_result(shard)
         if payload is None:
             raise SimulationError(
@@ -319,7 +326,7 @@ def _run_sharded(campaign: Campaign, source: LaneSource, engine: str,
                 "and re-run")
         for index, outcome in zip(shard.lane_indices, payload["outcomes"]):
             lane_outcomes[index] = outcome
-    return CampaignResult(lane_outcomes)
+    return CampaignResult(lane_outcomes, failed_shards=failed_shards)
 
 
 def _run_round(manifest: CampaignManifest, campaign: Campaign,
@@ -355,6 +362,9 @@ def _run_round(manifest: CampaignManifest, campaign: Campaign,
             shard.status = SHARD_FAILED
             shard.error = (f"attempt {shard.attempts} timed out after "
                            f"{options.shard_timeout_s} s")
+            # cancel if still queued so a hung shard cannot also consume
+            # the retry round's worker slots
+            future.cancel()
             timed_out = True
         except Exception as exc:   # worker raised or died
             shard.status = SHARD_FAILED
@@ -370,7 +380,13 @@ def _run_round(manifest: CampaignManifest, campaign: Campaign,
                                "but its result file failed verification")
         manifest.write()
     # a timed-out worker may still be running; don't block shutdown on it
+    # and terminate its process outright so the next round starts with a
+    # fresh pool instead of waiting behind a hung simulation
     pool.shutdown(wait=not timed_out, cancel_futures=timed_out)
+    if timed_out:
+        for proc in list(getattr(pool, "_processes", None) or {}).values():
+            if proc.is_alive():
+                proc.terminate()
 
 
 register_executor(ExecutorSpec(

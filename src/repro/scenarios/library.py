@@ -277,3 +277,49 @@ def design_validation_scenarios(probe_rate_dps: float = 100.0,
             "tail_std_dps": TraceTailStd("rate_output_dps", settle_fraction),
         })
     return [still, probe(probe_rate_dps), probe(-probe_rate_dps)]
+
+
+def fault_scenario(fault, rate_dps: float = 80.0,
+                   duration_s: float = 0.03,
+                   temperature_c: float = ROOM_TEMPERATURE_C,
+                   name: str = None,
+                   tolerance_dps: float = 10.0) -> Scenario:
+    """One fault-injection scenario with the standard resilience metrics.
+
+    The platform holds a constant applied rate while ``fault`` (any
+    :mod:`repro.faults` model) is armed over its activation window; the
+    extractors reduce the run to the resilience figures of the fault
+    campaigns — detection latency, time in saturation, post-fault bias
+    shift and a survived/failed verdict.
+    """
+    # lazy: repro.eval.metrics imports this module at module level
+    from ..eval.metrics import (
+        DetectionLatency,
+        PostFaultBiasShift,
+        SurvivedVerdict,
+        TimeInSaturation,
+    )
+    start = float(fault.t_start)
+    stop = float(duration_s if fault.t_stop is None else fault.t_stop)
+    return Scenario(
+        name=name or f"fault[{type(fault).__name__}@{rate_dps:+g}dps]",
+        environment=Environment.constant_rate(rate_dps, temperature_c),
+        duration_s=duration_s,
+        faults=(fault,),
+        extractors={
+            "detection_latency_s": DetectionLatency(start),
+            "time_in_saturation_s": TimeInSaturation(),
+            "post_fault_bias_shift_dps": PostFaultBiasShift(start, stop),
+            "survived": SurvivedVerdict(start, stop, tolerance_dps),
+        })
+
+
+def fault_matrix_scenarios(faults: Sequence, rate_dps: float = 80.0,
+                           duration_s: float = 0.03,
+                           temperature_c: float = ROOM_TEMPERATURE_C
+                           ) -> List[Scenario]:
+    """One :func:`fault_scenario` per fault model (a resilience row)."""
+    return [fault_scenario(fault, rate_dps, duration_s, temperature_c,
+                           name=f"fault[{type(fault).__name__}#{i}"
+                                f"@{rate_dps:+g}dps]")
+            for i, fault in enumerate(faults)]

@@ -81,12 +81,17 @@ class CampaignManifest:
     """The on-disk state of one sharded campaign run."""
 
     def __init__(self, directory: str, campaign_name: str, engine: str,
-                 source_digest: str, shards: List[ShardRecord]):
+                 source_digest: str, shards: List[ShardRecord],
+                 retry: Optional[dict] = None):
         self.directory = directory
         self.campaign_name = campaign_name
         self.engine = engine
         self.source_digest = source_digest
         self.shards = shards
+        # informational record of the run's retry policy (max_retries,
+        # retry_backoff_s); not part of the resume identity — a resume
+        # may retry with a different policy
+        self.retry = retry
 
     # -- paths --------------------------------------------------------------
 
@@ -105,6 +110,7 @@ class CampaignManifest:
             "campaign_name": self.campaign_name,
             "engine": self.engine,
             "source_digest": self.source_digest,
+            "retry": self.retry,
             "shards": [shard.to_dict() for shard in self.shards],
         }
 
@@ -132,12 +138,14 @@ class CampaignManifest:
                    campaign_name=str(data["campaign_name"]),
                    engine=str(data["engine"]),
                    source_digest=str(data["source_digest"]),
-                   shards=[ShardRecord.from_dict(s) for s in data["shards"]])
+                   shards=[ShardRecord.from_dict(s) for s in data["shards"]],
+                   retry=data.get("retry"))
 
     @classmethod
     def create_or_resume(cls, directory: str, campaign_name: str,
                          engine: str, source_digest: str,
-                         shards: List[ShardRecord]) -> "CampaignManifest":
+                         shards: List[ShardRecord],
+                         retry: Optional[dict] = None) -> "CampaignManifest":
         """Open a manifest directory: fresh start or verified resume.
 
         When ``directory`` already holds a manifest it must describe the
@@ -160,9 +168,10 @@ class CampaignManifest:
                     f"manifest directory {directory!r} belongs to a "
                     f"different campaign ({mismatch}); use a fresh "
                     "manifest_dir or delete the stale one")
+            manifest.retry = retry
             return manifest
         manifest = cls(directory, campaign_name, engine, source_digest,
-                       shards)
+                       shards, retry=retry)
         manifest.write()
         return manifest
 

@@ -18,9 +18,10 @@ from __future__ import annotations
 import dataclasses
 import hashlib
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Optional
+from typing import Callable, Dict, Optional, Tuple
 
 from ..common.exceptions import ConfigurationError
+from ..faults.models import validate_fault
 from ..platform.result import GyroSimulationResult
 from ..sensors.environment import Environment
 
@@ -74,6 +75,12 @@ class Scenario:
         timeout_message: message for that error (a default naming the
             scenario is used when omitted).
         extractors: named metric extractors run on completion.
+        faults: fault models (:mod:`repro.faults`) armed and disarmed by
+            the campaign runner at chunk boundaries; each fault's
+            activation edges join the lane's own boundary grid, so a
+            faulted scenario replays bit-identically on every engine
+            and executor.  All faults are restored when the scenario
+            completes.
     """
 
     name: str
@@ -86,10 +93,14 @@ class Scenario:
     require_stop: bool = False
     timeout_message: Optional[str] = None
     extractors: Dict[str, MetricExtractor] = field(default_factory=dict)
+    faults: Tuple = ()
 
     def __post_init__(self) -> None:
         if self.duration_s <= 0:
             raise ConfigurationError("scenario duration must be > 0")
+        self.faults = tuple(self.faults)
+        for fault in self.faults:
+            validate_fault(fault)
         if self.stop is None:
             if self.require_stop:
                 raise ConfigurationError(
@@ -124,6 +135,10 @@ class Scenario:
         ]
         for key in sorted(self.extractors):
             parts.append(f"{key}={_callable_token(self.extractors[key])}")
+        # sorted fault tokens: the digest is insensitive to declaration
+        # order (faults commute — each is armed on its own window)
+        for token in sorted(fault.digest_token() for fault in self.faults):
+            parts.append(f"fault:{token}")
         payload = "\x1f".join(parts).encode("utf-8")
         return hashlib.sha256(payload).hexdigest()[:16]
 

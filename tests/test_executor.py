@@ -443,21 +443,39 @@ class TestFaultInjectionAndResume:
         assert all(s.status == SHARD_DONE for s in manifest.shards)
         assert all(s.attempts == 2 for s in manifest.shards)
 
-    def test_exhausted_retries_raise_with_resume_pointer(
+    def test_exhausted_retries_quarantine_into_partial_result(
             self, started_platform, tmp_path):
         camp = Campaign(rate_table_scenarios([0.0, 40.0], settle_s=0.04),
                         name="resume")
-        with pytest.raises(SimulationError) as excinfo:
-            camp.run(copy.deepcopy(started_platform), workers=2,
-                     manifest_dir=str(tmp_path), max_retries=1,
-                     fault_hook=FailShard(1))
-        assert str(tmp_path) in str(excinfo.value)
-        assert "resume" in str(excinfo.value)
+        partial = camp.run(copy.deepcopy(started_platform), workers=2,
+                           manifest_dir=str(tmp_path), max_retries=1,
+                           retry_backoff_s=0.01,
+                           fault_hook=FailShard(1))
+
+        # the poisoned shard is quarantined, not fatal: the campaign
+        # completes with the healthy shard's results and an explicit
+        # failure report
+        assert not partial.complete
+        assert partial.failed_lane_indices() == [1]
+        assert partial.lanes[0] is not None and partial.lanes[1] is None
+        assert len(partial.failed_shards) == 1
+        report = partial.failed_shards[0]
+        assert report["shard_id"] == 1
+        assert report["lane_indices"] == [1]
+        assert report["attempts"] == 2
+        assert "injected persistent fault" in report["error"]
+        assert len(partial.outcomes()) == 1    # healthy lane only
+
+        # the partial result serialises, failure report included
+        restored = CampaignResult.from_dict(partial.to_dict())
+        assert restored.failed_shards == partial.failed_shards
+        assert restored.lanes[1] is None
 
         manifest = CampaignManifest.load(str(tmp_path))
         assert manifest.shards[0].status == SHARD_DONE
         assert manifest.shards[1].status == SHARD_FAILED
         assert "injected persistent fault" in manifest.shards[1].error
+        assert manifest.retry == {"max_retries": 1, "retry_backoff_s": 0.01}
         assert os.path.exists(manifest.shard_result_path(0))
         attempts_before = manifest.shards[0].attempts
 
@@ -465,6 +483,7 @@ class TestFaultInjectionAndResume:
         # the assembled result matches the all-local run bit for bit
         resumed = camp.run(copy.deepcopy(started_platform), workers=2,
                            manifest_dir=str(tmp_path))
+        assert resumed.complete and not resumed.failed_shards
         local = camp.run(copy.deepcopy(started_platform))
         assert_campaigns_identical(local, resumed)
         manifest = CampaignManifest.load(str(tmp_path))
