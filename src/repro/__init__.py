@@ -17,6 +17,7 @@ Subpackages
 ``repro.platform``  generic platform, IP portfolio, case-study instance
 ``repro.engine``    fast co-simulation engines (fused kernel, batched fleet)
 ``repro.scenarios`` declarative scenario/campaign orchestrator + engine registry
+``repro.store``     durable content-addressed result store (hits, audit, quarantine)
 ``repro.flow``      platform-based design flow (partitioning, DSE, prototyping)
 ``repro.eval``      metric harness, baselines and datasheet comparisons
 """

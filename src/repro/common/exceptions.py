@@ -41,6 +41,14 @@ class SimulationError(ReproError):
     """A simulation could not proceed (e.g. divergence, missing stimulus)."""
 
 
+class StoreError(ReproError):
+    """Base class for result-store errors (bad layout, unusable directory)."""
+
+
+class StoreIntegrityError(StoreError):
+    """A stored result failed verification against a live re-simulation."""
+
+
 class McuError(ReproError):
     """Base class for microcontroller subsystem errors."""
 

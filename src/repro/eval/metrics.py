@@ -136,18 +136,25 @@ class GyroCharacterization:
             in-process, ``"sharded"`` across worker processes);
             bit-identical datasheets either way.
         workers: worker-process count for the sharded executor.
+        store: a :class:`repro.store.ResultStore` backing the sweep
+            campaigns — a repeated characterisation of an unchanged
+            platform serves every rate-table point and bandwidth probe
+            from the store with zero fleet simulation, and only changed
+            design points re-simulate.
     """
 
     def __init__(self, platform: GyroPlatform,
                  config: Optional[CharacterizationConfig] = None,
                  engine: str = ENGINE_BATCHED,
                  executor: Optional[str] = None,
-                 workers: Optional[int] = None):
+                 workers: Optional[int] = None,
+                 store=None):
         self.platform = platform
         self.config = config or CharacterizationConfig()
         self.engine = engine
         self.executor = executor
         self.workers = workers
+        self.store = store
 
     # -- individual measurements -------------------------------------------------
 
@@ -168,7 +175,8 @@ class GyroCharacterization:
                                               temperature_c, cfg.settle_s),
                          name="rate-table")
         result = sweep.run(self.platform, engine=self.engine,
-                           executor=self.executor, workers=self.workers)
+                           executor=self.executor, workers=self.workers,
+                           store=self.store)
         volts = np.array([lane.outcomes[0].metrics["rate_output_v"]
                           for lane in result.lanes])
         dps = np.array([lane.outcomes[0].metrics["rate_output_dps"]
@@ -218,7 +226,8 @@ class GyroCharacterization:
                            for freq in freqs],
                           name="bandwidth-probes")
         result = probes.run(self.platform, engine=self.engine,
-                            executor=self.executor, workers=self.workers)
+                            executor=self.executor, workers=self.workers,
+                            store=self.store)
         gains = np.array([lane.outcomes[0].metrics["gain"]
                           for lane in result.lanes])
         return three_db_bandwidth(freqs, gains)

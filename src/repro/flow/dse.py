@@ -316,7 +316,8 @@ def sweep(config: Optional[DseConfig] = None,
           min_points: int = 8,
           max_points: Optional[int] = None,
           executor: Optional[str] = None,
-          workers: Optional[int] = None) -> List[SimulatedPoint]:
+          workers: Optional[int] = None,
+          store=None) -> List[SimulatedPoint]:
     """Full simulation-backed DSE sweep over the Pareto front.
 
     Explores the analytic design space, takes the noise-vs-gates Pareto
@@ -339,6 +340,10 @@ def sweep(config: Optional[DseConfig] = None,
             processes with a resumable manifest); metrics are
             bit-identical either way.
         workers: worker-process count for the sharded executor.
+        store: a :class:`repro.store.ResultStore` backing the validation
+            campaigns — design points whose configuration and scenarios
+            are unchanged since a previous sweep are served from the
+            store, so only new or changed candidates re-simulate.
 
     Returns:
         One :class:`SimulatedPoint` per candidate, in candidate order —
@@ -381,7 +386,7 @@ def sweep(config: Optional[DseConfig] = None,
                                                    len(scenarios)))
         campaign = Campaign(programs, engine="batched", name="dse-sweep")
         result = campaign.run(platforms=platforms, executor=executor,
-                              workers=workers)
+                              workers=workers, store=store)
         for slot, index in enumerate(indices):
             still, pos, neg = [lane.outcomes[0] for lane in
                                result.lanes[3 * slot:3 * slot + 3]]

@@ -7,7 +7,12 @@ from .generic import (
     GenericSensorPlatform,
     PlatformInstance,
 )
-from .result import GyroSimulationResult, concatenate_results
+from .result import (
+    GyroSimulationResult,
+    canonical_bytes,
+    concatenate_results,
+    content_digest,
+)
 from .gyro_platform import (
     GyroPlatform,
     GyroPlatformConfig,
@@ -24,7 +29,9 @@ __all__ = [
     "GenericSensorPlatform",
     "PlatformInstance",
     "GyroSimulationResult",
+    "canonical_bytes",
     "concatenate_results",
+    "content_digest",
     "GyroPlatform",
     "GyroPlatformConfig",
     "TemperatureSensorConfig",

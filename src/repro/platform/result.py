@@ -2,12 +2,32 @@
 
 from __future__ import annotations
 
+import hashlib
+import json
 from dataclasses import dataclass, field
 from typing import Dict, Optional, Sequence
 
 import numpy as np
 
 from ..common.exceptions import ConfigurationError, SimulationError
+
+
+def canonical_bytes(data: dict) -> bytes:
+    """Deterministic byte serialisation of a JSON-compatible dict.
+
+    Keys are sorted and separators fixed, so the same logical content
+    always produces the same bytes — the foundation of every checksum in
+    the result store.  Floats go through ``repr`` (binary64 round-trip),
+    and non-finite values keep Python's ``NaN``/``Infinity`` spellings,
+    which ``json.loads`` accepts back.
+    """
+    return json.dumps(data, sort_keys=True,
+                      separators=(",", ":")).encode("utf-8")
+
+
+def content_digest(data: dict) -> str:
+    """SHA-256 hex digest of :func:`canonical_bytes` of ``data``."""
+    return hashlib.sha256(canonical_bytes(data)).hexdigest()
 
 
 @dataclass
@@ -150,6 +170,16 @@ class GyroSimulationResult:
             kwargs[name] = (None if value is None
                             else np.asarray(value, dtype=np.float64))
         return cls(**kwargs)
+
+    def digest(self) -> str:
+        """Stable content digest of the recorded traces and scalars.
+
+        Two results digest identically exactly when :meth:`to_dict`
+        produces the same content — i.e. when every trace is bit-equal
+        and every scalar matches.  This is what the result store
+        checksums and the equivalence audit compare.
+        """
+        return content_digest(self.to_dict())
 
 
 def concatenate_results(results: Sequence["GyroSimulationResult"]

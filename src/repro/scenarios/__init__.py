@@ -32,7 +32,11 @@ from .executor import (
     register_executor,
     validate_executor,
 )
-from .manifest import CampaignManifest, ShardRecord
+from .manifest import (
+    CampaignManifest,
+    ManifestCorruptionError,
+    ShardRecord,
+)
 from .library import (
     NoiseDensity,
     RawRateChannel,
@@ -71,6 +75,7 @@ __all__ = [
     "register_executor",
     "validate_executor",
     "CampaignManifest",
+    "ManifestCorruptionError",
     "ShardRecord",
     "Scenario",
     "ScenarioOutcome",

@@ -338,7 +338,7 @@ class Campaign:
             retry_backoff_s: float = 0.0,
             shard_timeout_s: Optional[float] = None,
             shard_size: Optional[int] = None,
-            fault_hook=None) -> CampaignResult:
+            fault_hook=None, store=None) -> CampaignResult:
         """Execute every lane program and return the per-lane outcomes.
 
         Exactly one base must be given:
@@ -387,6 +387,14 @@ class Campaign:
             fault_hook: sharded only — picklable callable invoked in
                 each worker before its shard runs (fault-injection
                 testing).
+            store: a :class:`repro.store.ResultStore` — lanes whose
+                results are already stored (same starting state, engine
+                and scenario program) are served from disk with zero
+                simulation; only missing, corrupted or quarantined
+                lanes run (on the requested executor) and their fresh
+                outcomes are durably stored before the merged result
+                returns.  Served lanes carry ``platform=None``.
+                Incompatible with ``mutate=True``.
         """
         from .executor import ExecutorOptions, LaneSource, get_executor
         source = LaneSource.resolve(platform, platforms, config, mutate,
@@ -407,7 +415,12 @@ class Campaign:
                                   shard_timeout_s=shard_timeout_s,
                                   shard_size=shard_size,
                                   fault_hook=fault_hook)
-        return get_executor(executor).runner(self, source, engine, options)
+        spec = get_executor(executor)
+        if store is not None:
+            from ..store.serve import run_with_store
+            return run_with_store(self, source, engine, executor, options,
+                                  store)
+        return spec.runner(self, source, engine, options)
 
 
 def _execute_lanes(programs: Sequence[Sequence[Scenario]], lanes: Sequence,

@@ -142,6 +142,41 @@ class LaneSource:
                             protocol=pickle.HIGHEST_PROTOCOL)
         return hashlib.sha256(blob).hexdigest()[:16]
 
+    def lane_digests(self, n_lanes: int) -> List[str]:
+        """Per-lane content digests of the starting state (store keys).
+
+        Two lanes key identically exactly when they start from the same
+        platform state (or are built from the same configuration): with
+        a shared base (``platform`` / ``config`` mode) every lane gets
+        the same digest; with pre-built ``platforms`` each lane digests
+        its own platform, so heterogeneous fleets (e.g. the DSE sweep's
+        per-point configurations) never alias.  Platform state pickles
+        deterministically, so the digests are stable across process
+        restarts — the property the result store's keys rely on.
+        """
+        if self.mode == "platforms":
+            return ["platforms:" + _state_digest(platform)
+                    for platform in self.base]
+        digest = f"{self.mode}:{_state_digest(self.base)}"
+        return [digest] * n_lanes
+
+
+def _state_digest(obj) -> str:
+    """SHA-256 over an object's *normalized* pickle bytes.
+
+    Raw pickle bytes depend on object-graph sharing: a platform that was
+    itself unpickled can lose (or gain) shared sub-objects — a dtype
+    instance referenced by two arrays, say — and re-pickle to different
+    bytes than the freshly constructed equivalent.  One dump/load round
+    trip normalizes the graph (``dumps ∘ loads`` is a fixed point), so
+    the digest is stable across process restarts and across
+    pickle/unpickle round trips of the platform.
+    """
+    blob = pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
+    blob = pickle.dumps(pickle.loads(blob),
+                        protocol=pickle.HIGHEST_PROTOCOL)
+    return hashlib.sha256(blob).hexdigest()
+
 
 @dataclasses.dataclass(frozen=True)
 class ExecutorSpec:

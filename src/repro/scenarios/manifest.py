@@ -23,9 +23,22 @@ import dataclasses
 import json
 import os
 import pickle
+import warnings
 from typing import Dict, List, Optional
 
 from ..common.exceptions import ConfigurationError
+
+
+class ManifestCorruptionError(ConfigurationError):
+    """A manifest file exists but cannot be parsed (truncated/corrupted).
+
+    Distinct from an ordinary :class:`ConfigurationError` so the resume
+    path can tell "this directory holds a *different* campaign" (a user
+    mistake — refuse) apart from "this directory holds a *damaged*
+    manifest" (a crash artifact — salvageable: the shard result files
+    are individually verifiable, so the manifest can be rebuilt from
+    them).
+    """
 
 #: Shard lifecycle states recorded in the manifest.
 SHARD_PENDING = "pending"
@@ -124,22 +137,33 @@ class CampaignManifest:
     @classmethod
     def load(cls, directory: str) -> "CampaignManifest":
         path = os.path.join(directory, MANIFEST_FILENAME)
+        if not os.path.exists(path):
+            raise ConfigurationError(
+                f"cannot read campaign manifest {path!r}: no such file")
         try:
             with open(path, "r", encoding="utf-8") as fh:
                 data = json.load(fh)
         except (OSError, ValueError) as exc:
-            raise ConfigurationError(
+            # a manifest that exists but does not parse is a truncated or
+            # hand-corrupted file, not a different campaign
+            raise ManifestCorruptionError(
                 f"cannot read campaign manifest {path!r}: {exc}") from exc
         if data.get("version") != MANIFEST_VERSION:
             raise ConfigurationError(
                 f"campaign manifest {path!r} has version "
                 f"{data.get('version')!r}, expected {MANIFEST_VERSION}")
-        return cls(directory=directory,
-                   campaign_name=str(data["campaign_name"]),
-                   engine=str(data["engine"]),
-                   source_digest=str(data["source_digest"]),
-                   shards=[ShardRecord.from_dict(s) for s in data["shards"]],
-                   retry=data.get("retry"))
+        try:
+            return cls(directory=directory,
+                       campaign_name=str(data["campaign_name"]),
+                       engine=str(data["engine"]),
+                       source_digest=str(data["source_digest"]),
+                       shards=[ShardRecord.from_dict(s)
+                               for s in data["shards"]],
+                       retry=data.get("retry"))
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ManifestCorruptionError(
+                f"campaign manifest {path!r} is malformed: "
+                f"{type(exc).__name__}: {exc}") from exc
 
     @classmethod
     def create_or_resume(cls, directory: str, campaign_name: str,
@@ -155,11 +179,33 @@ class CampaignManifest:
         silently mixing two campaigns' shards.  On a valid resume the
         previous shard statuses (and completed result files) are kept,
         so only unfinished work re-runs.
+
+        A manifest that exists but is truncated or corrupted does not
+        kill the resume: the damaged file is moved aside
+        (``manifest.json.corrupt-N``), a warning reports it, and a fresh
+        manifest is written.  Completed ``shard-NNNN.pkl`` files survive
+        untouched and are individually digest-verified, so the
+        verify-and-retry loop credits them back without re-simulating —
+        the manifest is rebuilt from the surviving shard results.
         """
         os.makedirs(directory, exist_ok=True)
         path = os.path.join(directory, MANIFEST_FILENAME)
         if os.path.exists(path):
-            manifest = cls.load(directory)
+            try:
+                manifest = cls.load(directory)
+            except ManifestCorruptionError as exc:
+                salvage = _sidelined_path(path, "corrupt")
+                os.replace(path, salvage)
+                warnings.warn(
+                    f"campaign manifest {path!r} was corrupt ({exc}); "
+                    f"moved it to {salvage!r} and rebuilt the manifest — "
+                    "surviving shard result files will be verified and "
+                    "credited without re-simulation", RuntimeWarning,
+                    stacklevel=2)
+                manifest = cls(directory, campaign_name, engine,
+                               source_digest, shards, retry=retry)
+                manifest.write()
+                return manifest
             fresh = cls(directory, campaign_name, engine, source_digest,
                         shards)
             mismatch = manifest._describe_mismatch(fresh)
@@ -226,6 +272,16 @@ class CampaignManifest:
         for shard in self.shards:
             counts[shard.status] = counts.get(shard.status, 0) + 1
         return counts
+
+
+def _sidelined_path(path: str, reason: str) -> str:
+    """First free ``<path>.<reason>-N`` name for moving a bad file aside."""
+    for n in range(10_000):
+        candidate = f"{path}.{reason}-{n}"
+        if not os.path.exists(candidate):
+            return candidate
+    raise ConfigurationError(
+        f"cannot sideline {path!r}: too many {reason!r} files")
 
 
 def write_shard_payload(path: str, payload: dict) -> None:

@@ -154,6 +154,10 @@ class ScenarioOutcome:
         stopped_early: whether the stop condition ended the run before
             ``duration_s`` elapsed.
         elapsed_s: simulated time actually spent in the scenario.
+        scenario_digest: content digest of the *original* scenario; set
+            by :meth:`from_dict` on deserialised outcomes so the digest
+            survives the round-trip even though the placeholder scenario
+            cannot recompute it (its callables are gone).
     """
 
     scenario: Scenario
@@ -161,10 +165,20 @@ class ScenarioOutcome:
     metrics: Dict[str, float]
     stopped_early: bool
     elapsed_s: float
+    scenario_digest: Optional[str] = None
 
     @property
     def name(self) -> str:
         return self.scenario.name
+
+    def digest(self) -> str:
+        """The digest of the scenario that produced this outcome.
+
+        A live outcome digests its scenario; a deserialised outcome
+        returns the digest recorded at serialisation time, so
+        ``to_dict`` → ``from_dict`` → ``to_dict`` is lossless.
+        """
+        return self.scenario_digest or self.scenario.digest()
 
     def to_dict(self) -> dict:
         """JSON-compatible dict of the outcome.
@@ -179,7 +193,7 @@ class ScenarioOutcome:
         return {
             "scenario": {"name": self.scenario.name,
                          "duration_s": self.scenario.duration_s,
-                         "digest": self.scenario.digest()},
+                         "digest": self.digest()},
             "result": self.result.to_dict(),
             "metrics": dict(self.metrics),
             "stopped_early": self.stopped_early,
@@ -197,4 +211,5 @@ class ScenarioOutcome:
                    result=GyroSimulationResult.from_dict(data["result"]),
                    metrics=dict(data["metrics"]),
                    stopped_early=bool(data["stopped_early"]),
-                   elapsed_s=float(data["elapsed_s"]))
+                   elapsed_s=float(data["elapsed_s"]),
+                   scenario_digest=meta.get("digest"))

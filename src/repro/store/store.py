@@ -1,0 +1,408 @@
+"""The durable, content-addressed campaign result store.
+
+One directory holds one store:
+
+.. code-block:: text
+
+    store_dir/
+        store.json              # layout marker: {"schema": 1}
+        entries/
+            ab/abcdef….json     # one verified entry per lane key
+        quarantine/
+            abcdef….json.payload-checksum-0
+                                # damaged entries, moved aside — never
+                                # deleted, so nothing is lost to a bug
+                                # in the verifier
+
+Every entry is a single JSON *envelope*: schema version, provenance
+metadata (campaign, engine, executor, scenario digests), a SHA-256
+checksum over the canonical payload bytes, a SHA-256 checksum over the
+pickled replay config, the base64 replay config itself (the lane's
+scenario program plus its starting :class:`LaneSource` — the ``res.cfg``
+round-trip discipline: every stored result carries enough serialized
+config to re-derive itself), the payload (the serialised
+:class:`~repro.scenarios.campaign.LaneOutcome`) and a whole-envelope
+checksum over all of the above, so a flipped byte anywhere in the file —
+payload, config or provenance metadata — fails verification.
+
+Writes are durable: temp file in the same directory, ``fsync``, atomic
+rename, directory ``fsync``.  A crash at any point leaves either the
+previous state or the complete new entry — never a readable-but-wrong
+file.  Reads verify everything; any mismatch (checksum, schema version,
+truncation, unparseable JSON) quarantines the entry and reports a miss.
+
+:meth:`ResultStore.audit` is the runtime defense built on the engine
+equivalence locks: it re-simulates a sample of cached entries from their
+own replay config on the reference engine and fails loudly
+(:class:`~repro.common.exceptions.StoreIntegrityError`) if any stored
+payload drifts from the live re-simulation.
+"""
+
+from __future__ import annotations
+
+import base64
+import dataclasses
+import json
+import os
+import pickle
+import random
+import time
+from typing import Dict, List, Optional, Sequence
+
+from ..common.exceptions import (
+    ConfigurationError,
+    StoreError,
+    StoreIntegrityError,
+)
+from ..platform.result import canonical_bytes, content_digest
+from .keys import STORE_SCHEMA
+
+STORE_MARKER = "store.json"
+ENTRIES_DIR = "entries"
+QUARANTINE_DIR = "quarantine"
+
+
+@dataclasses.dataclass
+class StoreStats:
+    """Running counters of one :class:`ResultStore` instance."""
+
+    hits: int = 0
+    misses: int = 0
+    puts: int = 0
+    quarantined: int = 0
+    audited: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return dataclasses.asdict(self)
+
+
+@dataclasses.dataclass
+class StoreEntry:
+    """One verified store entry (metadata + deserialised payload)."""
+
+    key: str
+    path: str
+    campaign: str
+    engine: str
+    executor: str
+    source_digest: str
+    scenarios: List[dict]
+    created_unix: float
+    payload_sha256: str
+    config_sha256: str
+    config_b64: str
+    payload: dict
+
+    def lane_outcome(self):
+        """The stored lane outcome (``platform=None``; see LaneOutcome)."""
+        from ..scenarios.campaign import LaneOutcome
+        return LaneOutcome.from_dict(self.payload)
+
+    def replay_config(self):
+        """Unpickle the stored replay config: ``(program, lane_source)``."""
+        return pickle.loads(base64.b64decode(self.config_b64))
+
+
+@dataclasses.dataclass
+class AuditReport:
+    """Outcome of one :meth:`ResultStore.audit` pass."""
+
+    checked: int
+    verified_keys: List[str]
+    quarantined_keys: List[str]
+
+    @property
+    def ok(self) -> bool:
+        return not self.quarantined_keys
+
+
+class ResultStore:
+    """Content-addressed, integrity-verified campaign result store.
+
+    Args:
+        directory: store root; created (with its layout marker) when
+            missing.  An existing directory must carry a compatible
+            ``store.json`` marker — a different schema version is
+            refused rather than misread.
+    """
+
+    def __init__(self, directory: str):
+        self.directory = str(directory)
+        self.stats = StoreStats()
+        os.makedirs(self.entries_dir, exist_ok=True)
+        os.makedirs(self.quarantine_dir, exist_ok=True)
+        marker = os.path.join(self.directory, STORE_MARKER)
+        if os.path.exists(marker):
+            try:
+                with open(marker, "r", encoding="utf-8") as fh:
+                    schema = json.load(fh).get("schema")
+            except (OSError, ValueError) as exc:
+                raise StoreError(
+                    f"unreadable store marker {marker!r}: {exc}") from exc
+            if schema != STORE_SCHEMA:
+                raise StoreError(
+                    f"store {self.directory!r} uses schema {schema!r}, "
+                    f"this code speaks schema {STORE_SCHEMA}")
+        else:
+            _durable_write(marker, json.dumps(
+                {"schema": STORE_SCHEMA}).encode("utf-8"))
+
+    # -- layout -------------------------------------------------------------
+
+    @property
+    def entries_dir(self) -> str:
+        return os.path.join(self.directory, ENTRIES_DIR)
+
+    @property
+    def quarantine_dir(self) -> str:
+        return os.path.join(self.directory, QUARANTINE_DIR)
+
+    def entry_path(self, key: str) -> str:
+        return os.path.join(self.entries_dir, key[:2], f"{key}.json")
+
+    def keys(self) -> List[str]:
+        """Keys of every entry currently on disk (verified or not)."""
+        found = []
+        for root, _dirs, files in os.walk(self.entries_dir):
+            for name in files:
+                if name.endswith(".json"):
+                    found.append(name[:-len(".json")])
+        return sorted(found)
+
+    def __len__(self) -> int:
+        return len(self.keys())
+
+    def __contains__(self, key: str) -> bool:
+        return os.path.exists(self.entry_path(key))
+
+    # -- writes -------------------------------------------------------------
+
+    def put(self, key: str, lane, *, config_blob: bytes, campaign: str,
+            engine: str, executor: str, source_digest: str) -> str:
+        """Durably persist one lane outcome under ``key``.
+
+        Args:
+            lane: the :class:`LaneOutcome` to store (its ``to_dict``
+                serialisation is the payload; the platform object does
+                not travel).
+            config_blob: ``pickle.dumps((program, lane_source))``
+                captured *before* the lane ran — the replay config the
+                equivalence audit re-simulates from.
+            campaign, engine, executor, source_digest: provenance
+                metadata recorded in the envelope.
+
+        Returns the entry path.  The write is atomic and fsynced: a
+        crash mid-put leaves the store exactly as it was.
+        """
+        payload = lane.to_dict()
+        scenarios = [{"name": outcome.name, "digest": outcome.digest()}
+                     for outcome in lane.outcomes]
+        envelope = {
+            "schema": STORE_SCHEMA,
+            "key": key,
+            "campaign": campaign,
+            "engine": engine,
+            "executor": executor,
+            "source_digest": source_digest,
+            "scenarios": scenarios,
+            "created_unix": time.time(),
+            "config_sha256": content_digest({"pickle": _b64(config_blob)}),
+            "config_b64": _b64(config_blob),
+            "payload_sha256": content_digest(payload),
+            "payload": payload,
+        }
+        # whole-envelope checksum: covers the provenance metadata the
+        # field checksums above do not, so a flipped byte ANYWHERE in
+        # the entry quarantines it
+        envelope["entry_sha256"] = content_digest(envelope)
+        path = self.entry_path(key)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        _durable_write(path, json.dumps(envelope, indent=1).encode("utf-8"))
+        self.stats.puts += 1
+        return path
+
+    # -- reads --------------------------------------------------------------
+
+    def get(self, key: str):
+        """The verified lane outcome stored under ``key``, or ``None``.
+
+        Any integrity failure — unparseable JSON (truncation, flipped
+        bytes), schema or key mismatch, payload or config checksum
+        mismatch — quarantines the entry and returns ``None``: corrupted
+        cache entries degrade to misses, never to wrong results.
+        """
+        entry = self.load_entry(key)
+        if entry is None:
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        return entry.lane_outcome()
+
+    def load_entry(self, key: str) -> Optional[StoreEntry]:
+        """Load and fully verify one envelope (quarantining failures)."""
+        path = self.entry_path(key)
+        if not os.path.exists(path):
+            return None
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                data = json.load(fh)
+        except (OSError, ValueError):
+            self._quarantine(key, "unreadable")
+            return None
+        reason = self._verify(key, data)
+        if reason is not None:
+            self._quarantine(key, reason)
+            return None
+        return StoreEntry(
+            key=key, path=path,
+            campaign=data["campaign"], engine=data["engine"],
+            executor=data["executor"],
+            source_digest=data["source_digest"],
+            scenarios=data["scenarios"],
+            created_unix=data["created_unix"],
+            payload_sha256=data["payload_sha256"],
+            config_sha256=data["config_sha256"],
+            config_b64=data["config_b64"],
+            payload=data["payload"])
+
+    @staticmethod
+    def _verify(key: str, data: dict) -> Optional[str]:
+        """Reason the envelope fails verification, or None when sound."""
+        if not isinstance(data, dict):
+            return "malformed"
+        if data.get("schema") != STORE_SCHEMA:
+            return "schema-version"
+        if data.get("key") != key:
+            return "key-mismatch"
+        for field in ("campaign", "engine", "executor", "source_digest",
+                      "scenarios", "created_unix", "config_b64",
+                      "config_sha256", "payload_sha256", "payload",
+                      "entry_sha256"):
+            if field not in data:
+                return "malformed"
+        if content_digest(data["payload"]) != data["payload_sha256"]:
+            return "payload-checksum"
+        if (content_digest({"pickle": data["config_b64"]})
+                != data["config_sha256"]):
+            return "config-checksum"
+        body = {k: v for k, v in data.items() if k != "entry_sha256"}
+        if content_digest(body) != data["entry_sha256"]:
+            return "entry-checksum"
+        return None
+
+    # -- quarantine ---------------------------------------------------------
+
+    def _quarantine(self, key: str, reason: str) -> str:
+        """Move a damaged entry aside (never delete) and count it."""
+        path = self.entry_path(key)
+        target = _free_name(
+            os.path.join(self.quarantine_dir,
+                         f"{os.path.basename(path)}.{reason}"))
+        os.replace(path, target)
+        self.stats.quarantined += 1
+        return target
+
+    def quarantined(self) -> List[dict]:
+        """Quarantined files as ``{"file", "key", "reason"}`` records."""
+        records = []
+        for name in sorted(os.listdir(self.quarantine_dir)):
+            stem = name.split(".json.", 1)
+            key = stem[0]
+            reason = stem[1].rsplit("-", 1)[0] if len(stem) == 2 else "?"
+            records.append({"file": os.path.join(self.quarantine_dir, name),
+                            "key": key, "reason": reason})
+        return records
+
+    # -- the equivalence audit ----------------------------------------------
+
+    def audit(self, sample: Optional[int] = None, seed: int = 0,
+              engine: str = "reference") -> AuditReport:
+        """Re-simulate stored entries and fail loudly on drift.
+
+        A random ``sample`` of entries (all of them when ``sample`` is
+        None) is replayed from each entry's own pickled config — the
+        scenario program and the lane's starting state — on ``engine``
+        (the reference chain by default).  The fresh payload checksum
+        must equal the stored one bit for bit; the engine equivalence
+        locks promise exactly that, so any difference means the store,
+        the serialisation or an engine has broken, and the audit raises
+        :class:`StoreIntegrityError` after quarantining the drifted
+        entry.  Entries that fail envelope verification or whose config
+        no longer unpickles are quarantined and reported (not drift).
+
+        Returns an :class:`AuditReport`; raises on drift.
+        """
+        from ..scenarios.campaign import _execute_lanes
+        keys = self.keys()
+        if sample is not None and sample < len(keys):
+            keys = sorted(random.Random(seed).sample(keys, sample))
+        verified: List[str] = []
+        quarantined: List[str] = []
+        drifted: List[str] = []
+        for key in keys:
+            entry = self.load_entry(key)
+            if entry is None:            # quarantined by load_entry
+                quarantined.append(key)
+                continue
+            try:
+                program, source = entry.replay_config()
+                lanes = source.materialize([0])
+                fresh = _execute_lanes([program], lanes, engine)[0]
+            except Exception:
+                self._quarantine(key, "replay-failed")
+                quarantined.append(key)
+                self.stats.audited += 1
+                continue
+            self.stats.audited += 1
+            if content_digest(fresh.to_dict()) != entry.payload_sha256:
+                self._quarantine(key, "drift")
+                drifted.append(key)
+            else:
+                verified.append(key)
+        if drifted:
+            raise StoreIntegrityError(
+                f"{len(drifted)} stored entr"
+                f"{'y' if len(drifted) == 1 else 'ies'} drifted from live "
+                f"re-simulation on the {engine!r} engine: "
+                f"{', '.join(k[:16] for k in drifted)} — the drifted "
+                f"entries were quarantined under {self.quarantine_dir!r}")
+        return AuditReport(checked=len(keys), verified_keys=verified,
+                           quarantined_keys=quarantined)
+
+
+def _b64(blob: bytes) -> str:
+    return base64.b64encode(blob).decode("ascii")
+
+
+def _free_name(base: str) -> str:
+    """First free ``<base>-N`` filename (quarantine never overwrites)."""
+    for n in range(10_000):
+        candidate = f"{base}-{n}"
+        if not os.path.exists(candidate):
+            return candidate
+    raise ConfigurationError(f"too many quarantine files for {base!r}")
+
+
+def _durable_write(path: str, blob: bytes) -> None:
+    """Temp file + fsync + atomic rename + directory fsync.
+
+    The rename publishes the entry atomically; the two fsyncs make it
+    durable — a crash (or kill) at any instant leaves either no entry or
+    the complete, verifiable entry.  The temp name includes the PID so
+    concurrent writers never collide; a stray ``.tmp-*`` from a killed
+    writer is ignored by every reader.
+    """
+    tmp = f"{path}.tmp-{os.getpid()}"
+    with open(tmp, "wb") as fh:
+        fh.write(blob)
+        fh.flush()
+        os.fsync(fh.fileno())
+    os.replace(tmp, path)
+    try:
+        dir_fd = os.open(os.path.dirname(path) or ".", os.O_RDONLY)
+    except OSError:                       # platform without dir-open
+        return
+    try:
+        os.fsync(dir_fd)
+    finally:
+        os.close(dir_fd)

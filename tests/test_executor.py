@@ -21,10 +21,12 @@ import pytest
 
 from repro.common import ConfigurationError, SimulationError
 from repro.platform import GyroPlatform, GyroPlatformConfig
+from repro.faults import AfeSaturation
 from repro.scenarios import (
     Campaign,
     CampaignManifest,
     CampaignResult,
+    ManifestCorruptionError,
     Scenario,
     ShardRecord,
     executor_names,
@@ -218,6 +220,49 @@ class TestManifest:
         assert manifest.counts()[SHARD_DONE] == 1
         assert [s.shard_id for s in manifest.unfinished()] == [1]
 
+    def test_load_corrupt_manifest_raises_corruption_error(self, tmp_path):
+        manifest = CampaignManifest(str(tmp_path), "camp", "batched",
+                                    "f00d", make_shards())
+        manifest.write()
+        # truncation (a crash mid-write of a non-atomic editor, or a
+        # hand-mangled file) is corruption, not a campaign mismatch
+        size = os.path.getsize(manifest.path)
+        with open(manifest.path, "r+") as fh:
+            fh.truncate(size // 2)
+        with pytest.raises(ManifestCorruptionError):
+            CampaignManifest.load(str(tmp_path))
+        # and corruption IS a ConfigurationError, so existing callers
+        # that catch the broad class keep working
+        assert issubclass(ManifestCorruptionError, ConfigurationError)
+
+    def test_malformed_fields_are_corruption(self, tmp_path):
+        manifest = CampaignManifest(str(tmp_path), "camp", "batched",
+                                    "f00d", make_shards())
+        manifest.write()
+        import json
+        data = json.load(open(manifest.path))
+        del data["shards"][0]["lane_indices"]
+        json.dump(data, open(manifest.path, "w"))
+        with pytest.raises(ManifestCorruptionError, match="malformed"):
+            CampaignManifest.load(str(tmp_path))
+
+    def test_create_or_resume_salvages_corrupt_manifest(self, tmp_path):
+        first = CampaignManifest.create_or_resume(
+            str(tmp_path), "camp", "batched", "f00d", make_shards())
+        first.shards[0].status = SHARD_DONE
+        first.write()
+        with open(first.path, "w") as fh:
+            fh.write('{"version": 1, "campaign_na')
+        with pytest.warns(RuntimeWarning, match="corrupt"):
+            rebuilt = CampaignManifest.create_or_resume(
+                str(tmp_path), "camp", "batched", "f00d", make_shards())
+        # the damaged file is moved aside, never deleted
+        assert os.path.exists(first.path + ".corrupt-0")
+        # the rebuilt manifest starts from the requested shard set;
+        # completed shard RESULT files are credited by the run loop
+        assert all(s.status != SHARD_DONE for s in rebuilt.shards)
+        assert CampaignManifest.load(str(tmp_path)).campaign_name == "camp"
+
 
 # ---------------------------------------------------------------------------
 # scenario digests
@@ -277,6 +322,38 @@ class TestSerialisation:
         a = follow.run(result.lanes[0].platform, mutate=True)
         b = follow.run(clone.lanes[0].platform, mutate=True)
         assert_campaigns_identical(a, b)
+
+    def test_faulted_partial_result_round_trip_is_lossless(
+            self, started_platform, tmp_path):
+        # the result store serialises lane outcomes through to_dict and
+        # trusts from_dict(d).to_dict() == d bit for bit; lock that for
+        # the hardest case — a faulted scenario that latches safe mode
+        # (optional safety scalars populated) inside a PARTIAL sharded
+        # result carrying a failure report
+        latch = Scenario(name="latch",
+                         environment=Environment.constant_rate(80.0),
+                         duration_s=0.03,
+                         faults=(AfeSaturation(t_start=0.01, t_stop=0.02),))
+        camp = Campaign([latch,
+                         settled_output_scenario(10.0, settle_s=0.02)],
+                        name="lossless")
+        partial = camp.run(copy.deepcopy(started_platform), workers=2,
+                           shard_size=1, manifest_dir=str(tmp_path),
+                           max_retries=0, fault_hook=FailShard(1))
+        assert not partial.complete and partial.lanes[1] is None
+
+        data = partial.to_dict()
+        # the safety fields actually travelled
+        result_dict = data["lanes"][0]["outcomes"][0]["result"]
+        assert result_dict["safe_mode"] is True
+        assert result_dict["safe_mode_events"] == 1
+        assert result_dict["safe_mode_entry_s"] is not None
+        assert data["failed_shards"] == partial.failed_shards
+        # and the round trip is lossless, digests included
+        clone = CampaignResult.from_dict(data)
+        assert clone.to_dict() == data
+        assert (clone.lanes[0].outcomes[0].digest()
+                == partial.lanes[0].outcomes[0].digest())
 
     def test_library_scenarios_are_picklable(self):
         scenarios = [startup_scenario(),
@@ -429,6 +506,14 @@ class FailShard:
             raise RuntimeError("injected persistent fault")
 
 
+@dataclasses.dataclass(frozen=True)
+class FailAlways:
+    """Picklable fault hook: any shard that actually launches dies."""
+
+    def __call__(self, shard_id: int, attempt: int) -> None:
+        raise RuntimeError(f"shard {shard_id} should not have run")
+
+
 class TestFaultInjectionAndResume:
     def test_failed_shards_retry_and_recover(self, started_platform,
                                              tmp_path):
@@ -489,6 +574,31 @@ class TestFaultInjectionAndResume:
         manifest = CampaignManifest.load(str(tmp_path))
         assert all(s.status == SHARD_DONE for s in manifest.shards)
         assert manifest.shards[0].attempts == attempts_before
+
+    def test_corrupt_manifest_rebuilds_from_shard_files(
+            self, started_platform, tmp_path):
+        # a truncated manifest.json must not kill the resume OR throw
+        # away completed work: the manifest is rebuilt and the
+        # surviving shard-NNNN.pkl files are digest-verified and
+        # credited without re-simulation — proven by a fault hook that
+        # kills any shard that actually launches
+        camp = Campaign(rate_table_scenarios([0.0, 40.0], settle_s=0.04),
+                        name="rebuild")
+        first = camp.run(copy.deepcopy(started_platform), workers=2,
+                         manifest_dir=str(tmp_path))
+        manifest_path = os.path.join(str(tmp_path), "manifest.json")
+        with open(manifest_path, "w") as fh:
+            fh.write('{"version": 1, "campaign_na')
+
+        with pytest.warns(RuntimeWarning, match="corrupt"):
+            resumed = camp.run(copy.deepcopy(started_platform), workers=2,
+                               manifest_dir=str(tmp_path),
+                               fault_hook=FailAlways())
+        assert resumed.complete
+        assert_campaigns_identical(first, resumed)
+        assert os.path.exists(manifest_path + ".corrupt-0")
+        manifest = CampaignManifest.load(str(tmp_path))
+        assert all(s.status == SHARD_DONE for s in manifest.shards)
 
     def test_resume_rejects_different_campaign(self, started_platform,
                                                tmp_path):

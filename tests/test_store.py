@@ -1,0 +1,614 @@
+"""Tests for the durable result store (``repro.store``).
+
+The store's promise is three-fold and every class here locks one face
+of it: **durability** (entries survive exactly or not at all — a
+truncated or flipped-byte file is never readable-but-wrong),
+**self-healing** (damaged entries quarantine, re-simulate and come back
+bit-identical), and **serving** (a warm store answers repeated
+campaigns and characterisations with zero fleet simulation).  The
+content-addressed keys are property-tested for the invariances the
+design claims: stable across process restarts and pickle round-trips,
+insensitive to fault and extractor declaration order, insensitive to
+the executor (executors are bit-identity-locked, so they are
+provenance, not identity).
+"""
+
+import copy
+import dataclasses
+import json
+import os
+import pickle
+import shutil
+import subprocess
+import sys
+import tempfile
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from strategies.settings import SLOW_SETTINGS, STANDARD_SETTINGS
+
+import repro
+from repro.common import (
+    ConfigurationError,
+    StoreError,
+    StoreIntegrityError,
+)
+from repro.eval.metrics import CharacterizationConfig, GyroCharacterization
+from repro.faults import AfeSaturation, SensorDropout, StuckAdcCode
+from repro.platform import GyroPlatform, content_digest
+from repro.scenarios import (
+    Campaign,
+    Scenario,
+    rate_table_scenarios,
+    settled_output_scenario,
+)
+from repro.scenarios.executor import LaneSource
+from repro.sensors import Environment
+from repro.store import (
+    STORE_SCHEMA,
+    ResultStore,
+    lane_key,
+    miss_set_digest,
+)
+
+TRACE_FIELDS = (
+    "time_s", "true_rate_dps", "temperature_c", "rate_output_dps",
+    "rate_output_v", "amplitude_control", "amplitude_error", "phase_error",
+    "vco_control", "pll_locked", "running")
+
+
+def assert_campaigns_identical(a, b):
+    """Bit-identical traces, metrics and bookkeeping (platforms aside)."""
+    assert len(a.lanes) == len(b.lanes)
+    for lane_a, lane_b in zip(a.lanes, b.lanes):
+        assert len(lane_a.outcomes) == len(lane_b.outcomes)
+        for oa, ob in zip(lane_a.outcomes, lane_b.outcomes):
+            assert oa.metrics == ob.metrics
+            assert oa.stopped_early == ob.stopped_early
+            assert oa.elapsed_s == ob.elapsed_s
+            for field in TRACE_FIELDS:
+                assert np.array_equal(getattr(oa.result, field),
+                                      getattr(ob.result, field)), field
+
+
+@pytest.fixture(scope="module")
+def started_platform():
+    platform = GyroPlatform()
+    platform.start()
+    return platform
+
+
+def make_campaign():
+    return Campaign(rate_table_scenarios([0.0, 30.0], settle_s=0.02),
+                    name="store-camp")
+
+
+def forbid_simulation(monkeypatch):
+    """Make any in-process lane execution fail the test loudly."""
+    def boom(*args, **kwargs):
+        raise AssertionError("simulated despite a warm store")
+    monkeypatch.setattr("repro.scenarios.executor._execute_lanes", boom)
+
+
+# ---------------------------------------------------------------------------
+# cold / warm serving
+# ---------------------------------------------------------------------------
+
+class TestServing:
+    def test_cold_run_matches_plain_and_populates(self, started_platform,
+                                                  tmp_path):
+        camp = make_campaign()
+        plain = camp.run(copy.deepcopy(started_platform))
+        store = ResultStore(str(tmp_path / "store"))
+        cold = camp.run(copy.deepcopy(started_platform), store=store)
+        assert_campaigns_identical(plain, cold)
+        assert cold.complete
+        assert store.stats.misses == 2 and store.stats.puts == 2
+        assert len(store) == 2
+
+    def test_warm_run_serves_with_zero_simulation(self, started_platform,
+                                                  tmp_path, monkeypatch):
+        camp = make_campaign()
+        store = ResultStore(str(tmp_path / "store"))
+        cold = camp.run(copy.deepcopy(started_platform), store=store)
+        forbid_simulation(monkeypatch)
+        warm = camp.run(copy.deepcopy(started_platform), store=store)
+        assert_campaigns_identical(cold, warm)
+        assert store.stats.hits == 2 and store.stats.puts == 2
+        # served lanes carry no platform: the store persists results,
+        # not live simulator objects
+        assert all(lane.platform is None for lane in warm.lanes)
+
+    def test_warm_run_on_sharded_executor_hits(self, started_platform,
+                                               tmp_path, monkeypatch):
+        # the executor is provenance, not identity: a store populated by
+        # the local executor serves a sharded run of the same campaign
+        camp = make_campaign()
+        store = ResultStore(str(tmp_path / "store"))
+        local = camp.run(copy.deepcopy(started_platform), store=store)
+        forbid_simulation(monkeypatch)
+        warm = camp.run(copy.deepcopy(started_platform), store=store,
+                        workers=2, manifest_dir=str(tmp_path / "manifest"))
+        assert_campaigns_identical(local, warm)
+        assert store.stats.hits == 2
+        # all lanes hit, so no miss-set manifest directory was created
+        assert not os.path.exists(str(tmp_path / "manifest"))
+
+    def test_partial_miss_simulates_only_missing_lane(self, started_platform,
+                                                      tmp_path):
+        camp = make_campaign()
+        store = ResultStore(str(tmp_path / "store"))
+        cold = camp.run(copy.deepcopy(started_platform), store=store)
+        key = store.keys()[0]
+        os.remove(store.entry_path(key))
+        again = camp.run(copy.deepcopy(started_platform), store=store)
+        assert_campaigns_identical(cold, again)
+        assert store.stats.hits == 1          # the surviving lane
+        assert store.stats.puts == 3          # 2 cold + 1 refill
+        assert key in store
+
+    def test_changed_scenario_is_a_miss(self, started_platform, tmp_path):
+        store = ResultStore(str(tmp_path / "store"))
+        make_campaign().run(copy.deepcopy(started_platform), store=store)
+        changed = Campaign(rate_table_scenarios([0.0, 31.0], settle_s=0.02),
+                           name="store-camp")
+        changed.run(copy.deepcopy(started_platform), store=store)
+        assert store.stats.hits == 1          # the unchanged 0.0 lane
+        assert store.stats.puts == 3
+        assert len(store) == 3
+
+    def test_mutate_with_store_rejected(self, started_platform, tmp_path):
+        store = ResultStore(str(tmp_path / "store"))
+        camp = Campaign([settled_output_scenario(0.0, settle_s=0.01)])
+        with pytest.raises(ConfigurationError, match="mutate"):
+            camp.run(copy.deepcopy(started_platform), mutate=True,
+                     store=store)
+
+    def test_schema_mismatch_refused(self, tmp_path):
+        root = tmp_path / "store"
+        ResultStore(str(root))
+        with open(root / "store.json", "w") as fh:
+            json.dump({"schema": 99}, fh)
+        with pytest.raises(StoreError, match="schema"):
+            ResultStore(str(root))
+
+
+# ---------------------------------------------------------------------------
+# quarantine: corruption degrades to a miss, never to a wrong result
+# ---------------------------------------------------------------------------
+
+class TestQuarantine:
+    def _cold_store(self, started_platform, root):
+        camp = make_campaign()
+        store = ResultStore(str(root))
+        cold = camp.run(copy.deepcopy(started_platform), store=store)
+        return camp, store, cold
+
+    def test_flipped_byte_in_every_entry_heals_bit_identically(
+            self, started_platform, tmp_path):
+        # the acceptance lock: flip one byte in each stored entry (at
+        # different offsets, so different envelope fields take the hit);
+        # every entry quarantines and transparently re-simulates to a
+        # bit-identical result
+        camp, store, cold = self._cold_store(started_platform,
+                                             tmp_path / "store")
+        for n, key in enumerate(store.keys()):
+            path = store.entry_path(key)
+            with open(path, "rb") as fh:
+                blob = bytearray(fh.read())
+            blob[(len(blob) * (n + 1)) // 3] ^= 0x01
+            with open(path, "wb") as fh:
+                fh.write(bytes(blob))
+        healed = camp.run(copy.deepcopy(started_platform), store=store)
+        assert_campaigns_identical(cold, healed)
+        assert store.stats.quarantined == 2
+        assert store.stats.puts == 4          # both lanes re-simulated
+        assert len(store.quarantined()) == 2
+        # the healed entries now verify again
+        for key in store.keys():
+            assert store.get(key) is not None
+
+    def test_truncated_entry_is_quarantined_miss(self, started_platform,
+                                                 tmp_path):
+        _, store, _ = self._cold_store(started_platform, tmp_path / "store")
+        key = store.keys()[0]
+        path = store.entry_path(key)
+        size = os.path.getsize(path)
+        with open(path, "r+b") as fh:
+            fh.truncate(size // 2)
+        assert store.get(key) is None
+        records = store.quarantined()
+        assert len(records) == 1
+        assert records[0]["key"] == key
+        assert records[0]["reason"] == "unreadable"
+        assert not os.path.exists(path)       # moved aside, not left behind
+
+    def test_metadata_tamper_is_entry_checksum(self, started_platform,
+                                               tmp_path):
+        # provenance fields are not covered by the payload/config
+        # checksums; the whole-envelope checksum catches them
+        _, store, _ = self._cold_store(started_platform, tmp_path / "store")
+        key = store.keys()[0]
+        path = store.entry_path(key)
+        with open(path) as fh:
+            data = json.load(fh)
+        data["created_unix"] += 1.0
+        with open(path, "w") as fh:
+            json.dump(data, fh)
+        assert store.get(key) is None
+        assert store.quarantined()[0]["reason"] == "entry-checksum"
+
+    def test_payload_tamper_is_payload_checksum(self, started_platform,
+                                                tmp_path):
+        _, store, _ = self._cold_store(started_platform, tmp_path / "store")
+        key = store.keys()[0]
+        path = store.entry_path(key)
+        with open(path) as fh:
+            data = json.load(fh)
+        outcome = data["payload"]["outcomes"][0]
+        name = sorted(outcome["metrics"])[0]
+        outcome["metrics"][name] += 1.0
+        with open(path, "w") as fh:
+            json.dump(data, fh)
+        assert store.get(key) is None
+        assert store.quarantined()[0]["reason"] == "payload-checksum"
+
+    def test_schema_version_entry_quarantined(self, started_platform,
+                                              tmp_path):
+        _, store, _ = self._cold_store(started_platform, tmp_path / "store")
+        key = store.keys()[0]
+        path = store.entry_path(key)
+        with open(path) as fh:
+            data = json.load(fh)
+        data["schema"] = STORE_SCHEMA + 1
+        with open(path, "w") as fh:
+            json.dump(data, fh)
+        assert store.get(key) is None
+        assert store.quarantined()[0]["reason"] == "schema-version"
+
+    def test_key_mismatch_quarantined(self, started_platform, tmp_path):
+        _, store, _ = self._cold_store(started_platform, tmp_path / "store")
+        key_a, key_b = store.keys()
+        shutil.copy(store.entry_path(key_a), store.entry_path(key_b))
+        assert store.get(key_b) is None
+        assert store.quarantined()[0]["reason"] == "key-mismatch"
+
+    def test_quarantine_never_overwrites(self, started_platform, tmp_path):
+        camp, store, _ = self._cold_store(started_platform,
+                                          tmp_path / "store")
+        key = store.keys()[0]
+        for _ in range(2):
+            with open(store.entry_path(key), "w") as fh:
+                fh.write("not json")
+            assert store.get(key) is None
+            camp.run(copy.deepcopy(started_platform), store=store)
+        names = sorted(os.listdir(store.quarantine_dir))
+        assert names == [f"{key}.json.unreadable-0",
+                         f"{key}.json.unreadable-1"]
+
+    def test_stray_tmp_file_is_invisible(self, started_platform, tmp_path):
+        # a writer killed before the atomic rename leaves only a temp
+        # file; readers never see it and the next put replaces it cleanly
+        _, store, _ = self._cold_store(started_platform, tmp_path / "store")
+        key = store.keys()[0]
+        path = store.entry_path(key)
+        with open(f"{path}.tmp-99999", "wb") as fh:
+            fh.write(b'{"half": ')
+        assert store.get(key) is not None
+        assert store.stats.quarantined == 0
+
+
+# ---------------------------------------------------------------------------
+# the equivalence audit
+# ---------------------------------------------------------------------------
+
+class TestAudit:
+    def test_audit_verifies_sound_store(self, started_platform, tmp_path):
+        store = ResultStore(str(tmp_path / "store"))
+        make_campaign().run(copy.deepcopy(started_platform), store=store)
+        report = store.audit()
+        assert report.ok
+        assert report.checked == 2
+        assert sorted(report.verified_keys) == store.keys()
+        assert store.stats.audited == 2
+
+    def test_audit_sample_checks_subset(self, started_platform, tmp_path):
+        store = ResultStore(str(tmp_path / "store"))
+        make_campaign().run(copy.deepcopy(started_platform), store=store)
+        report = store.audit(sample=1)
+        assert report.ok and report.checked == 1
+
+    def test_audit_catches_consistent_tamper_as_drift(self, started_platform,
+                                                      tmp_path):
+        # tamper a metric AND recompute every checksum: the envelope
+        # verifies, so only re-simulation can catch it — that is
+        # exactly what the audit is for
+        store = ResultStore(str(tmp_path / "store"))
+        make_campaign().run(copy.deepcopy(started_platform), store=store)
+        key = store.keys()[0]
+        path = store.entry_path(key)
+        with open(path) as fh:
+            data = json.load(fh)
+        outcome = data["payload"]["outcomes"][0]
+        name = sorted(outcome["metrics"])[0]
+        outcome["metrics"][name] += 1.0
+        data["payload_sha256"] = content_digest(data["payload"])
+        data["entry_sha256"] = content_digest(
+            {k: v for k, v in data.items() if k != "entry_sha256"})
+        with open(path, "w") as fh:
+            json.dump(data, fh)
+        assert store.get(key) is not None     # envelope looks sound
+        with pytest.raises(StoreIntegrityError, match="drifted"):
+            store.audit()
+        reasons = {r["key"]: r["reason"] for r in store.quarantined()}
+        assert reasons[key] == "drift"
+        # the untampered entry still audits clean
+        assert store.audit().ok
+
+    def test_audit_quarantines_unreplayable_config(self, started_platform,
+                                                   tmp_path):
+        import base64
+        store = ResultStore(str(tmp_path / "store"))
+        make_campaign().run(copy.deepcopy(started_platform), store=store)
+        key = store.keys()[0]
+        path = store.entry_path(key)
+        with open(path) as fh:
+            data = json.load(fh)
+        data["config_b64"] = base64.b64encode(b"not a pickle").decode()
+        data["config_sha256"] = content_digest(
+            {"pickle": data["config_b64"]})
+        data["entry_sha256"] = content_digest(
+            {k: v for k, v in data.items() if k != "entry_sha256"})
+        with open(path, "w") as fh:
+            json.dump(data, fh)
+        report = store.audit()                # reported, not raised
+        assert not report.ok
+        assert report.quarantined_keys == [key]
+        reasons = {r["key"]: r["reason"] for r in store.quarantined()}
+        assert reasons[key] == "replay-failed"
+
+
+# ---------------------------------------------------------------------------
+# key properties: stability and declared invariances
+# ---------------------------------------------------------------------------
+
+SCENARIO_FAULTS = [
+    AfeSaturation(t_start=0.005, t_stop=0.01),
+    SensorDropout(t_start=0.01, t_stop=0.02),
+    StuckAdcCode(t_start=0.012, t_stop=0.018, channel="primary", code=3),
+]
+
+def _metric_mean(platform, result):
+    return float(np.mean(result.rate_output_dps))
+
+def _metric_last(platform, result):
+    return float(result.rate_output_dps[-1])
+
+def _metric_peak(platform, result):
+    return float(np.max(np.abs(result.rate_output_dps)))
+
+EXTRACTORS = [("mean", _metric_mean), ("last", _metric_last),
+              ("peak", _metric_peak)]
+
+
+def _faulted_scenario(faults):
+    return Scenario(name="faulted", environment=Environment.still(),
+                    duration_s=0.03, faults=tuple(faults))
+
+
+class TestKeyProperties:
+    def test_lane_key_is_content_sensitive(self):
+        digests = ["d1", "d2"]
+        base = lane_key("src", "batched", digests)
+        assert lane_key("src", "batched", digests) == base
+        assert lane_key("other", "batched", digests) != base
+        assert lane_key("src", "fused", digests) != base
+        assert lane_key("src", "batched", ["d2", "d1"]) != base
+        assert lane_key("src", "batched", ["d1"]) != base
+
+    def test_miss_set_digest_order_insensitive(self):
+        assert miss_set_digest(["a", "b"]) == miss_set_digest(["b", "a"])
+        assert miss_set_digest(["a"]) != miss_set_digest(["a", "b"])
+
+    @STANDARD_SETTINGS
+    @given(perm=st.permutations(SCENARIO_FAULTS))
+    def test_key_insensitive_to_fault_order(self, perm):
+        base = _faulted_scenario(SCENARIO_FAULTS)
+        other = _faulted_scenario(perm)
+        assert other.digest() == base.digest()
+        assert (lane_key("src", "batched", [other.digest()])
+                == lane_key("src", "batched", [base.digest()]))
+
+    @STANDARD_SETTINGS
+    @given(perm=st.permutations(EXTRACTORS))
+    def test_key_insensitive_to_extractor_insertion_order(self, perm):
+        base = Scenario(name="metrics", environment=Environment.still(),
+                        duration_s=0.02, extractors=dict(EXTRACTORS))
+        other = Scenario(name="metrics", environment=Environment.still(),
+                         duration_s=0.02, extractors=dict(perm))
+        assert other.digest() == base.digest()
+
+    @SLOW_SETTINGS
+    @given(rate=st.floats(-300.0, 300.0, allow_nan=False),
+           settle=st.floats(0.01, 0.5))
+    def test_scenario_digest_survives_pickle(self, rate, settle):
+        scenario = settled_output_scenario(rate, settle_s=settle)
+        clone = pickle.loads(pickle.dumps(scenario))
+        assert clone.digest() == scenario.digest()
+
+    def test_source_digest_survives_pickle_round_trip(self):
+        platform = GyroPlatform()
+        source = LaneSource.resolve(platform, None, None, False, 1)
+        clone = pickle.loads(pickle.dumps(source))
+        assert clone.lane_digests(1) == source.lane_digests(1)
+
+    def test_lane_key_stable_across_process_restart(self):
+        scenario = settled_output_scenario(25.0, settle_s=0.05)
+        source = LaneSource.resolve(GyroPlatform(), None, None, False, 1)
+        key = lane_key(source.lane_digests(1)[0], "batched",
+                       [scenario.digest()])
+        script = (
+            "from repro.platform import GyroPlatform\n"
+            "from repro.scenarios import settled_output_scenario\n"
+            "from repro.scenarios.executor import LaneSource\n"
+            "from repro.store import lane_key\n"
+            "source = LaneSource.resolve(GyroPlatform(), None, None,"
+            " False, 1)\n"
+            "scenario = settled_output_scenario(25.0, settle_s=0.05)\n"
+            "print(lane_key(source.lane_digests(1)[0], 'batched',"
+            " [scenario.digest()]))\n")
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(
+            [os.path.dirname(os.path.dirname(repro.__file__)),
+             env.get("PYTHONPATH", "")]).rstrip(os.pathsep)
+        out = subprocess.run([sys.executable, "-c", script], env=env,
+                             capture_output=True, text=True, check=True)
+        assert out.stdout.strip() == key
+
+
+# ---------------------------------------------------------------------------
+# kill-during-write: truncation at every offset (satellite property)
+# ---------------------------------------------------------------------------
+
+@pytest.fixture(scope="module")
+def sealed_entry(started_platform, tmp_path_factory):
+    """One valid on-disk entry: (key, file bytes, expected payload)."""
+    root = tmp_path_factory.mktemp("sealed")
+    store = ResultStore(str(root / "store"))
+    camp = Campaign([settled_output_scenario(20.0, settle_s=0.02)],
+                    name="sealed")
+    camp.run(GyroPlatform(), store=store)
+    [key] = store.keys()
+    with open(store.entry_path(key), "rb") as fh:
+        blob = fh.read()
+    lane = store.get(key)
+    return key, blob, lane.to_dict()
+
+
+class TestKillDuringWrite:
+    @SLOW_SETTINGS
+    @given(frac=st.floats(0.0, 1.0))
+    def test_truncation_never_readable_but_wrong(self, sealed_entry, frac):
+        # a kill at any instant of a non-atomic write would leave a
+        # prefix of the entry; whatever the cut point, the store must
+        # return either the exact stored result or a miss — never a
+        # readable-but-wrong entry
+        key, blob, payload = sealed_entry
+        cut = min(len(blob), int(frac * (len(blob) + 1)))
+        root = tempfile.mkdtemp(prefix="repro-store-trunc-")
+        try:
+            store = ResultStore(root)
+            path = store.entry_path(key)
+            os.makedirs(os.path.dirname(path), exist_ok=True)
+            with open(path, "wb") as fh:
+                fh.write(blob[:cut])
+            lane = store.get(key)
+            if cut == len(blob):
+                assert lane is not None
+                assert lane.to_dict() == payload
+            else:
+                assert lane is None
+        finally:
+            shutil.rmtree(root, ignore_errors=True)
+
+    @SLOW_SETTINGS
+    @given(index=st.integers(0, 10_000), flip=st.integers(1, 255))
+    def test_flipped_byte_never_readable_but_wrong(self, sealed_entry,
+                                                   index, flip):
+        # bitrot anywhere in the file — payload, config, provenance
+        # metadata, even insignificant whitespace — must degrade to a
+        # miss or leave the entry bit-identical, never corrupt a read
+        key, blob, payload = sealed_entry
+        damaged = bytearray(blob)
+        damaged[index % len(blob)] ^= flip
+        root = tempfile.mkdtemp(prefix="repro-store-flip-")
+        try:
+            store = ResultStore(root)
+            path = store.entry_path(key)
+            os.makedirs(os.path.dirname(path), exist_ok=True)
+            with open(path, "wb") as fh:
+                fh.write(bytes(damaged))
+            lane = store.get(key)
+            assert lane is None or lane.to_dict() == payload
+        finally:
+            shutil.rmtree(root, ignore_errors=True)
+
+
+# ---------------------------------------------------------------------------
+# store + sharded executor: failure quarantine and self-healing resume
+# ---------------------------------------------------------------------------
+
+@dataclasses.dataclass(frozen=True)
+class FailShard:
+    """Picklable fault hook: one shard fails on every attempt."""
+
+    shard_id: int
+
+    def __call__(self, shard_id: int, attempt: int) -> None:
+        if shard_id == self.shard_id:
+            raise RuntimeError("injected persistent fault")
+
+
+class TestStoreBackedResume:
+    def test_failed_shard_reported_then_healed(self, started_platform,
+                                               tmp_path):
+        camp = make_campaign()
+        store = ResultStore(str(tmp_path / "store"))
+        manifest_dir = str(tmp_path / "manifest")
+        partial = camp.run(copy.deepcopy(started_platform), store=store,
+                           workers=2, shard_size=1,
+                           manifest_dir=manifest_dir, max_retries=0,
+                           fault_hook=FailShard(1))
+        # the healthy lane was stored; the poisoned one is reported
+        # against its ORIGINAL campaign lane index
+        assert not partial.complete
+        assert partial.failed_lane_indices() == [1]
+        assert len(partial.failed_shards) == 1
+        assert partial.failed_shards[0]["lane_indices"] == [1]
+        assert len(store) == 1
+        # the miss-set manifest landed in a subdirectory named after
+        # exactly which lanes missed
+        subdirs = os.listdir(manifest_dir)
+        assert len(subdirs) == 1 and subdirs[0].startswith("miss-")
+
+        # resume without the fault: the stored lane is a hit, only the
+        # failed lane simulates, and the result matches a plain run
+        healed = camp.run(copy.deepcopy(started_platform), store=store,
+                          workers=2, shard_size=1,
+                          manifest_dir=manifest_dir)
+        assert healed.complete
+        plain = camp.run(copy.deepcopy(started_platform))
+        assert_campaigns_identical(plain, healed)
+        assert store.stats.hits == 1 and len(store) == 2
+        # the second miss set (lane 1 only) got its own manifest dir
+        assert len(os.listdir(manifest_dir)) == 2
+
+
+# ---------------------------------------------------------------------------
+# warm characterisation: the serving acceptance lock
+# ---------------------------------------------------------------------------
+
+class TestWarmCharacterization:
+    def test_repeat_rate_response_zero_fleet_simulation(
+            self, started_platform, tmp_path, monkeypatch):
+        platform = copy.deepcopy(started_platform)
+        config = CharacterizationConfig(
+            rate_points_dps=(-50.0, 0.0, 50.0), settle_s=0.02)
+        store = ResultStore(str(tmp_path / "store"))
+        char = GyroCharacterization(platform, config, store=store)
+        rates, volts, dps = char.measure_rate_response()
+        assert store.stats.puts == 3
+
+        # the platform did not advance (rate-response campaigns branch),
+        # so the repeat run is key-identical: every lane must be served
+        # from the store without touching the fleet
+        forbid_simulation(monkeypatch)
+        rates2, volts2, dps2 = char.measure_rate_response()
+        assert np.array_equal(rates, rates2)
+        assert np.array_equal(volts, volts2)
+        assert np.array_equal(dps, dps2)
+        assert store.stats.hits == 3 and store.stats.puts == 3
+        # and the cached sweep passes the equivalence audit
+        assert store.audit(sample=2).ok
