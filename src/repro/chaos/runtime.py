@@ -1,0 +1,118 @@
+"""Chaos activation and the ``fire`` hook the production code calls.
+
+The production code never imports chaos *models*; it only calls
+:func:`fire` at its injection sites, which is a no-op unless a
+:class:`~repro.chaos.models.ChaosPlan` is active in this process.  The
+campaign runner activates the plan around a run (:func:`active`), and
+shard workers activate the plan they received in their pickled task
+(:func:`activate`) for the lifetime of the worker process.
+
+Activation is a stack, so a store-level chaos test can activate its own
+plan inside a campaign-level activation; only the innermost plan sees
+events.  Per-activation *state* — how many times each model has fired —
+lives here, not on the (frozen, shared, picklable) models.
+
+Seeded determinism: a model with ``probability < 1`` fires iff a stable
+SHA-256 hash of ``(seed, model index, site, shard, attempt, occurrence
+count)`` lands under the probability — a pure function of the plan and
+the event stream, never of wall-clock randomness, so the same seed
+replays the same failure schedule.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from contextlib import contextmanager
+from typing import Dict, List, Optional
+
+from .models import ChaosEvent, ChaosPlan
+
+
+class _Activation:
+    __slots__ = ("plan", "fired", "seen")
+
+    def __init__(self, plan: ChaosPlan):
+        self.plan = plan
+        self.fired: Dict[int, int] = {}   # model index -> times fired
+        self.seen: Dict[int, int] = {}    # model index -> events matched
+
+
+_STACK: List[_Activation] = []
+
+
+def activate(plan: ChaosPlan) -> None:
+    """Push a plan; every ``fire`` consults it until :func:`deactivate`.
+
+    Worker processes call this once at startup and never pop — the
+    activation dies with the process.
+    """
+    _STACK.append(_Activation(plan))
+
+
+def deactivate() -> None:
+    """Pop the innermost activation."""
+    _STACK.pop()
+
+
+@contextmanager
+def active(plan: Optional[ChaosPlan]):
+    """Context-manager activation; a ``None`` plan is a no-op."""
+    if plan is None:
+        yield
+        return
+    activate(plan)
+    try:
+        yield
+    finally:
+        deactivate()
+
+
+def current() -> Optional[ChaosPlan]:
+    """The innermost active plan, or None."""
+    return _STACK[-1].plan if _STACK else None
+
+
+def fired_counts() -> Dict[int, int]:
+    """Firing counts (by model index) of the innermost activation."""
+    return dict(_STACK[-1].fired) if _STACK else {}
+
+
+def fire(site: str, *, shard: Optional[int] = None,
+         attempt: Optional[int] = None, path: Optional[str] = None,
+         heartbeat: Optional[object] = None) -> None:
+    """Offer one event at an injection site to the active plan (if any).
+
+    Models fire in declaration order; a model that raises or kills the
+    process naturally pre-empts the rest.  Without an active plan this
+    is a near-free early return, so the hooks can live permanently in
+    the production write paths.
+    """
+    if not _STACK:
+        return
+    activation = _STACK[-1]
+    event = ChaosEvent(site=site, shard=shard, attempt=attempt, path=path,
+                       heartbeat=heartbeat)
+    for index, model in enumerate(activation.plan.models):
+        if not model.matches(event):
+            continue
+        occurrence = activation.seen.get(index, 0)
+        activation.seen[index] = occurrence + 1
+        if (model.times is not None
+                and activation.fired.get(index, 0) >= model.times):
+            continue
+        if model.probability < 1.0 and not _decides_to_fire(
+                activation.plan.seed, index, event, occurrence,
+                model.probability):
+            continue
+        activation.fired[index] = activation.fired.get(index, 0) + 1
+        model.fire(event)
+
+
+def _decides_to_fire(seed: int, index: int, event: ChaosEvent,
+                     occurrence: int, probability: float) -> bool:
+    """Deterministic pseudo-Bernoulli draw for probabilistic models."""
+    token = (f"{seed}:{index}:{event.site}:{event.shard}:{event.attempt}:"
+             f"{occurrence}")
+    digest = hashlib.sha256(token.encode("utf-8")).digest()
+    draw = int.from_bytes(digest[:8], "big") / 2.0 ** 64
+    return draw < probability

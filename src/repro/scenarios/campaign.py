@@ -36,7 +36,9 @@ from __future__ import annotations
 import dataclasses
 from typing import List, Optional, Sequence, Union
 
+from ..chaos.runtime import active as chaos_active
 from ..common.exceptions import ConfigurationError, SimulationError
+from ..common.retry import RetryPolicy
 from ..platform.result import concatenate_results
 from .engines import ENGINE_BATCHED, get_engine
 from .scenario import Scenario, ScenarioOutcome
@@ -334,11 +336,17 @@ class Campaign:
     def run(self, platform=None, *, platforms=None, config=None,
             engine: Optional[str] = None, executor: Optional[str] = None,
             workers: Optional[int] = None, mutate: bool = False,
-            manifest_dir=None, max_retries: int = 2,
-            retry_backoff_s: float = 0.0,
+            manifest_dir=None, retry=None,
+            max_retries: Optional[int] = None,
+            retry_backoff_s: Optional[float] = None,
             shard_timeout_s: Optional[float] = None,
             shard_size: Optional[int] = None,
-            fault_hook=None, store=None) -> CampaignResult:
+            fault_hook=None, chaos=None,
+            heartbeat_interval_s: float = 0.5,
+            heartbeat_grace: float = 6.0,
+            speculation_factor: Optional[float] = 4.0,
+            speculation_min_done: int = 2,
+            store=None) -> CampaignResult:
         """Execute every lane program and return the per-lane outcomes.
 
         Exactly one base must be given:
@@ -370,16 +378,26 @@ class Campaign:
             manifest_dir: sharded only — directory for the batch
                 manifest and shard results; reuse a previous run's
                 directory to resume it.  Defaults to a fresh temp dir.
-            max_retries: sharded only — re-runs allowed per failed
-                shard.  A shard still unfinished after its last retry is
-                *quarantined*: the campaign returns a partial
-                :class:`CampaignResult` whose ``failed_shards`` report
-                names it (lanes of quarantined shards are ``None``)
+            retry: sharded only — a
+                :class:`~repro.common.retry.RetryPolicy` governing
+                shard re-runs: attempts per shard, exponential backoff
+                between them (each sleep capped by the remaining
+                deadline budget and skipped for workers known dead via
+                missed heartbeats) and an optional wall-clock
+                ``deadline_s`` for the whole run.  A shard that
+                exhausts its budget is *quarantined*: the campaign
+                returns a partial :class:`CampaignResult` whose
+                ``failed_shards`` report names it with its full attempt
+                history (lanes of quarantined shards are ``None``)
                 instead of raising; resume with the same
                 ``manifest_dir`` to fill them in.
-            retry_backoff_s: sharded only — sleep before each retry
-                round, doubling every round (exponential backoff); 0
-                retries immediately.
+            max_retries: deprecated spelling of the retry budget —
+                re-runs allowed per failed shard, equivalent to
+                ``RetryPolicy(max_attempts=max_retries + 1)``.
+                Incompatible with ``retry``.
+            retry_backoff_s: deprecated spelling of the retry backoff —
+                equivalent to ``RetryPolicy(backoff_s=...)``.
+                Incompatible with ``retry``.
             shard_timeout_s: sharded only — wall-clock budget per shard
                 attempt.
             shard_size: sharded only — lanes per shard (default spreads
@@ -387,6 +405,27 @@ class Campaign:
             fault_hook: sharded only — picklable callable invoked in
                 each worker before its shard runs (fault-injection
                 testing).
+            chaos: a :class:`repro.chaos.ChaosPlan` of seeded
+                infrastructure failures (worker crashes, hangs,
+                heartbeat loss, torn/corrupted/slow result writes,
+                ENOSPC, kill-mid-rename) injected at the
+                executor/manifest/store boundaries for this run —
+                chaos-testing the execution substrate, the way
+                ``fault_hook`` and :mod:`repro.faults` test the
+                platform.
+            heartbeat_interval_s: sharded only — how often each shard
+                worker beats its liveness file.
+            heartbeat_grace: sharded only — heartbeat silence beyond
+                ``heartbeat_grace × heartbeat_interval_s`` declares the
+                worker dead and reschedules its shard immediately
+                (no backoff, no waiting out ``shard_timeout_s``).
+            speculation_factor: sharded only — a shard attempt running
+                longer than this multiple of the median completed-shard
+                duration gets a speculative backup attempt; whichever
+                attempt publishes a digest-verified result first is
+                credited.  ``None`` disables speculation.
+            speculation_min_done: sharded only — completed shards
+                required before the median is trusted for speculation.
             store: a :class:`repro.store.ResultStore` — lanes whose
                 results are already stored (same starting state, engine
                 and scenario program) are served from disk with zero
@@ -409,18 +448,32 @@ class Campaign:
         get_engine(engine)
         if executor is None:
             executor = "sharded" if workers else "local"
+        if retry is not None and (max_retries is not None
+                                  or retry_backoff_s is not None):
+            raise ConfigurationError(
+                "give either retry=RetryPolicy(...) or the legacy "
+                "max_retries/retry_backoff_s scalars, not both")
+        if retry is None:
+            retry = RetryPolicy.from_legacy(
+                2 if max_retries is None else max_retries,
+                retry_backoff_s or 0.0)
         options = ExecutorOptions(workers=workers, manifest_dir=manifest_dir,
-                                  max_retries=max_retries,
-                                  retry_backoff_s=retry_backoff_s,
+                                  retry=retry,
                                   shard_timeout_s=shard_timeout_s,
                                   shard_size=shard_size,
-                                  fault_hook=fault_hook)
+                                  fault_hook=fault_hook,
+                                  chaos=chaos,
+                                  heartbeat_interval_s=heartbeat_interval_s,
+                                  heartbeat_grace=heartbeat_grace,
+                                  speculation_factor=speculation_factor,
+                                  speculation_min_done=speculation_min_done)
         spec = get_executor(executor)
-        if store is not None:
-            from ..store.serve import run_with_store
-            return run_with_store(self, source, engine, executor, options,
-                                  store)
-        return spec.runner(self, source, engine, options)
+        with chaos_active(chaos):
+            if store is not None:
+                from ..store.serve import run_with_store
+                return run_with_store(self, source, engine, executor,
+                                      options, store)
+            return spec.runner(self, source, engine, options)
 
 
 def _execute_lanes(programs: Sequence[Sequence[Scenario]], lanes: Sequence,

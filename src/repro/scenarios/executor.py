@@ -17,14 +17,36 @@ stepped*; executors decide *where the campaign's lanes run*:
   the in-process one (equivalence-locked by test, the same discipline
   the engine registry lives under).
 
-The sharded executor is crash-tolerant: a JSON batch manifest
-(:mod:`repro.scenarios.manifest`) is written before any worker starts,
-workers publish their results via atomic renames, and a
-verify-and-retry loop re-runs only the shards whose result files are
-missing or fail digest verification — up to ``max_retries`` times, with
-an optional per-shard timeout.  A killed run therefore degrades into a
-resume: call ``Campaign.run`` again with the same ``manifest_dir`` and
-only unfinished shards are simulated.
+The sharded executor is crash-tolerant and chaos-hardened: a JSON batch
+manifest (:mod:`repro.scenarios.manifest`) is written before any worker
+starts, workers publish their results via atomic renames, and an
+event-driven scheduler re-runs only the shards whose result files are
+missing or fail digest verification.  The hardening mechanics, each
+chaos-tested by :mod:`repro.chaos`:
+
+* **Heartbeats** — every shard worker beats a liveness file from a
+  background thread, so the scheduler tells a *dead* worker (crashed,
+  frozen: heartbeat gone stale, reschedule immediately — no backoff,
+  no waiting out ``shard_timeout_s``) from a *slow* one (heartbeat
+  fresh: keep waiting up to the deadline).
+* **Straggler speculation** — a shard running longer than
+  ``speculation_factor`` × the median completed-shard duration gets a
+  speculative backup attempt; whichever attempt's result file verifies
+  first is credited (attempt files are *promoted* to the canonical
+  result name only after digest verification, so a backup can never
+  clobber a verified result, and a terminated straggler can never
+  corrupt one).
+* **Retry budgets** — re-launches are governed by a shared
+  :class:`~repro.common.retry.RetryPolicy` (max attempts, exponential
+  backoff with cap, optional deadline budget); every backoff is capped
+  by the remaining deadline and skipped outright for known-dead
+  workers, and the full attempt history (failure class + truncated
+  traceback included) is recorded in the manifest.
+
+A killed run therefore degrades into a resume: call ``Campaign.run``
+again with the same ``manifest_dir`` and only unfinished shards are
+simulated (verified canonical *and* stray attempt result files from the
+dead run are credited without re-simulation).
 """
 
 from __future__ import annotations
@@ -32,23 +54,35 @@ from __future__ import annotations
 import copy
 import dataclasses
 import hashlib
+import json
 import math
 import multiprocessing
 import os
 import pickle
+import statistics
 import tempfile
+import threading
 import time
-from concurrent.futures import ProcessPoolExecutor
-from concurrent.futures import TimeoutError as _FuturesTimeout
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
+from ..chaos import runtime as _chaos
 from ..common.exceptions import ConfigurationError, SimulationError
+from ..common.retry import RetryPolicy
 from .campaign import Campaign, CampaignResult, LaneOutcome, _execute_lanes
 from .manifest import (
+    ATTEMPT_CRASH,
+    ATTEMPT_ERROR,
+    ATTEMPT_HEARTBEAT_LOST,
+    ATTEMPT_OK,
+    ATTEMPT_RUNNING,
+    ATTEMPT_SUPERSEDED,
+    ATTEMPT_TIMEOUT,
+    ATTEMPT_VERIFY_FAILED,
     SHARD_DONE,
     SHARD_FAILED,
     CampaignManifest,
     ShardRecord,
+    write_error_report,
     write_shard_payload,
 )
 
@@ -62,11 +96,16 @@ class ExecutorOptions:
 
     workers: Optional[int] = None
     manifest_dir: Optional[str] = None
-    max_retries: int = 2
-    retry_backoff_s: float = 0.0
+    retry: Optional[RetryPolicy] = None
     shard_timeout_s: Optional[float] = None
     shard_size: Optional[int] = None
     fault_hook: Optional[Callable] = None
+    chaos: Optional[object] = None
+    heartbeat_interval_s: float = 0.5
+    heartbeat_grace: float = 6.0
+    speculation_factor: Optional[float] = 4.0
+    speculation_min_done: int = 2
+    poll_interval_s: float = 0.02
 
 
 @dataclasses.dataclass
@@ -246,26 +285,97 @@ def _run_local(campaign: Campaign, source: LaneSource, engine: str,
 # sharded executor
 # ---------------------------------------------------------------------------
 
-def _run_shard(task: dict) -> int:
-    """Worker entry point: simulate one shard and publish its results.
+class _HeartbeatWriter:
+    """Background thread beating a JSON liveness file for one attempt.
 
-    Runs in a worker process.  Everything it needs arrived pickled in
-    ``task``; the outcome (including each lane's final platform) goes to
-    the shard's result file via an atomic rename, never back over the
-    pipe — so a worker that dies after publishing still counts as done.
+    The beat is a tmp-write + atomic rename, so the parent never reads a
+    torn heartbeat; its staleness check only consults the file's mtime.
+    A crash (``os._exit``, SIGKILL) takes the thread down with the
+    process and the file goes stale — exactly the signal the scheduler
+    uses to tell *dead* from *slow*.
     """
-    if task["fault_hook"] is not None:
-        task["fault_hook"](task["shard_id"], task["attempt"])
-    source: LaneSource = task["source"]
-    lanes = source.materialize(range(len(task["programs"])))
-    outcomes = _execute_lanes(task["programs"], lanes, task["engine"])
-    write_shard_payload(task["result_path"], {
-        "shard_id": task["shard_id"],
-        "lane_indices": task["lane_indices"],
-        "digests": task["digests"],
-        "outcomes": outcomes,
-    })
-    return task["shard_id"]
+
+    def __init__(self, path: str, interval_s: float, shard_id: int,
+                 attempt: int):
+        self.path = path
+        self.interval_s = interval_s
+        self.shard_id = shard_id
+        self.attempt = attempt
+        self._sequence = 0
+        self._halt = threading.Event()
+        self._thread = threading.Thread(
+            target=self._loop, daemon=True,
+            name=f"heartbeat-shard-{shard_id}")
+
+    def start(self) -> None:
+        os.makedirs(os.path.dirname(self.path), exist_ok=True)
+        self._beat()
+        self._thread.start()
+
+    def stop(self) -> None:
+        self._halt.set()
+        if self._thread.is_alive():
+            self._thread.join(timeout=2 * self.interval_s)
+
+    def _loop(self) -> None:
+        while not self._halt.wait(self.interval_s):
+            self._beat()
+
+    def _beat(self) -> None:
+        self._sequence += 1
+        tmp = f"{self.path}.tmp-{os.getpid()}"
+        try:
+            with open(tmp, "w", encoding="utf-8") as fh:
+                json.dump({"shard_id": self.shard_id,
+                           "attempt": self.attempt,
+                           "pid": os.getpid(),
+                           "sequence": self._sequence,
+                           "time_unix": time.time()}, fh)
+            os.replace(tmp, self.path)
+        except OSError:
+            # a failing heartbeat must never kill the simulation; a
+            # silent worker is at worst declared dead and rescheduled
+            pass
+
+
+def _shard_worker_main(task: dict) -> None:
+    """Worker process entry point: beat, simulate, publish, exit.
+
+    Everything it needs arrived pickled in ``task``; the outcome
+    (including each lane's final platform) goes to the *attempt* result
+    file via an atomic rename, never back over a pipe — the parent
+    digest-verifies that file and promotes it to the canonical shard
+    result, so a worker that dies after publishing still counts as done
+    and a corrupt publish can never be credited.  Failures are reported
+    through an error file (exception class + truncated traceback) and a
+    non-zero exit code.
+    """
+    heartbeat = _HeartbeatWriter(task["heartbeat_path"],
+                                 task["heartbeat_interval_s"],
+                                 task["shard_id"], task["attempt"])
+    if task.get("chaos") is not None:
+        _chaos.activate(task["chaos"])
+    try:
+        heartbeat.start()
+        _chaos.fire("worker.start", shard=task["shard_id"],
+                    attempt=task["attempt"], heartbeat=heartbeat)
+        if task["fault_hook"] is not None:
+            task["fault_hook"](task["shard_id"], task["attempt"])
+        source: LaneSource = task["source"]
+        lanes = source.materialize(range(len(task["programs"])))
+        outcomes = _execute_lanes(task["programs"], lanes, task["engine"])
+        write_shard_payload(task["result_path"], {
+            "shard_id": task["shard_id"],
+            "attempt": task["attempt"],
+            "lane_indices": task["lane_indices"],
+            "digests": task["digests"],
+            "outcomes": outcomes,
+        })
+    except BaseException as exc:
+        write_error_report(task["error_path"], exc)
+        heartbeat.stop()
+        os._exit(1)
+    heartbeat.stop()
 
 
 def _partition(n_lanes: int, workers: int,
@@ -282,14 +392,26 @@ def _partition(n_lanes: int, workers: int,
 def _check_picklable(campaign: Campaign, source: LaneSource,
                      options: ExecutorOptions) -> None:
     try:
-        pickle.dumps((campaign.programs, source, options.fault_hook),
+        pickle.dumps((campaign.programs, source, options.fault_hook,
+                      options.chaos),
                      protocol=pickle.HIGHEST_PROTOCOL)
     except Exception as exc:
         raise ConfigurationError(
             "the sharded executor ships lane programs to worker processes "
-            "by pickling them; every stop condition and metric extractor "
-            "must be picklable (the scenario library's are — lambdas and "
-            f"closures are not): {exc}") from exc
+            "by pickling them; every stop condition, metric extractor, "
+            "fault hook and chaos model must be picklable (the scenario "
+            "and chaos libraries' are — lambdas and closures are not): "
+            f"{exc}") from exc
+
+
+def _terminate_process(process) -> None:
+    """Stop a worker process, escalating from terminate to kill."""
+    if process.is_alive():
+        process.terminate()
+        process.join(timeout=1.0)
+    if process.is_alive():
+        process.kill()
+        process.join(timeout=1.0)
 
 
 def _run_sharded(campaign: Campaign, source: LaneSource, engine: str,
@@ -302,6 +424,7 @@ def _run_sharded(campaign: Campaign, source: LaneSource, engine: str,
     workers = options.workers or max(1, os.cpu_count() or 1)
     if workers < 1:
         raise ConfigurationError("workers must be >= 1")
+    policy = options.retry or RetryPolicy()
     n_lanes = len(campaign.programs)
     partition = _partition(n_lanes, workers, options.shard_size)
     digests = [[s.digest() for s in program]
@@ -311,42 +434,38 @@ def _run_sharded(campaign: Campaign, source: LaneSource, engine: str,
               for k, indices in enumerate(partition)]
     directory = options.manifest_dir or tempfile.mkdtemp(
         prefix="repro-campaign-")
-    manifest = CampaignManifest.create_or_resume(
+    manifest = policy.call(lambda: CampaignManifest.create_or_resume(
         str(directory), campaign.name, engine, source.digest(), shards,
-        retry={"max_retries": options.max_retries,
-               "retry_backoff_s": options.retry_backoff_s})
-    manifest.write()
+        retry=policy.to_dict()))
+    policy.call(manifest.write)
 
-    # verify-and-retry loop: each round first credits shards whose result
-    # files already exist and verify (a previous run's completed work, or
-    # a timed-out worker that finished late), then re-runs the rest —
-    # waiting out an exponential backoff between retry rounds so a
-    # transiently overloaded host gets room to recover
-    for round_index in range(options.max_retries + 1):
-        recovered = False
-        for shard in manifest.unfinished():
-            if manifest.load_shard_result(shard) is not None:
-                shard.status = SHARD_DONE
-                shard.error = None
-                recovered = True
-        if recovered:
-            manifest.write()
-        todo = manifest.unfinished()
-        if not todo:
-            break
-        if round_index and options.retry_backoff_s > 0:
-            time.sleep(options.retry_backoff_s * (2 ** (round_index - 1)))
-        _run_round(manifest, campaign, source, engine, options, todo,
-                   workers)
+    # resume scan: credit shards whose canonical result file already
+    # exists and verifies (a previous run's completed work), and salvage
+    # verified *attempt* files a killed run published but never promoted
+    recovered = False
+    for shard in manifest.unfinished():
+        payload = (manifest.load_shard_result(shard)
+                   or manifest.salvage_attempt_result(shard))
+        if payload is not None:
+            shard.status = SHARD_DONE
+            shard.error = None
+            recovered = True
+    if recovered:
+        policy.call(manifest.write)
 
-    # shards still unfinished after the last retry are quarantined: the
+    _ShardScheduler(manifest, campaign, source, engine, options, policy,
+                    workers).run()
+
+    # shards still unfinished after the retry budget are quarantined: the
     # campaign completes with partial results and an explicit failure
-    # report instead of discarding the shards that did succeed
+    # report (attempt history included) instead of discarding the shards
+    # that did succeed
     failed_shards = [
         {"shard_id": s.shard_id,
          "lane_indices": list(s.lane_indices),
          "attempts": s.attempts,
-         "error": s.error or "no result file"}
+         "error": s.error or "no result file",
+         "history": [dict(entry) for entry in s.history]}
         for s in manifest.unfinished()]
 
     lane_outcomes: List[Optional[LaneOutcome]] = [None] * n_lanes
@@ -364,64 +483,319 @@ def _run_sharded(campaign: Campaign, source: LaneSource, engine: str,
     return CampaignResult(lane_outcomes, failed_shards=failed_shards)
 
 
-def _run_round(manifest: CampaignManifest, campaign: Campaign,
-               source: LaneSource, engine: str, options: ExecutorOptions,
-               todo: List[ShardRecord], workers: int) -> None:
-    """Launch one attempt of every unfinished shard and harvest results."""
-    try:
-        mp_context = multiprocessing.get_context("fork")
-    except ValueError:        # platforms without fork
-        mp_context = multiprocessing.get_context()
-    pool = ProcessPoolExecutor(max_workers=min(workers, len(todo)),
-                               mp_context=mp_context)
-    futures = {}
-    for shard in todo:
-        shard.attempts += 1
-        futures[pool.submit(_run_shard, {
-            "shard_id": shard.shard_id,
-            "attempt": shard.attempts,
-            "engine": engine,
-            "programs": [campaign.programs[i] for i in shard.lane_indices],
-            "lane_indices": shard.lane_indices,
-            "digests": shard.digests,
-            "source": source.subset(shard.lane_indices),
-            "result_path": manifest.shard_result_path(shard.shard_id),
-            "fault_hook": options.fault_hook,
-        })] = shard
-    manifest.write()
-    timed_out = False
-    for future, shard in futures.items():
+class _AttemptHandle:
+    """One live (or just-finished) worker attempt the scheduler tracks."""
+
+    __slots__ = ("record", "number", "speculative", "process",
+                 "started_monotonic", "heartbeat_path", "finished")
+
+    def __init__(self, record: ShardRecord, number: int, speculative: bool,
+                 process, heartbeat_path: str):
+        self.record = record
+        self.number = number
+        self.speculative = speculative
+        self.process = process
+        self.started_monotonic = time.monotonic()
+        self.heartbeat_path = heartbeat_path
+        self.finished = False
+
+
+class _ShardScheduler:
+    """Event-driven per-attempt scheduler for the sharded executor.
+
+    Replaces the old lock-step retry *rounds* (which slept out a global
+    exponential backoff between rounds and waited the full shard timeout
+    on crashed workers).  Each shard attempt is its own
+    ``multiprocessing.Process``; the scheduler polls them all, credits
+    verified results the moment they land, distinguishes dead workers
+    from slow ones via heartbeat staleness, launches speculative backups
+    for stragglers, and reschedules failures per the
+    :class:`~repro.common.retry.RetryPolicy` — each backoff capped by
+    the remaining deadline budget and skipped entirely for known-dead
+    workers.
+    """
+
+    def __init__(self, manifest: CampaignManifest, campaign: Campaign,
+                 source: LaneSource, engine: str, options: ExecutorOptions,
+                 policy: RetryPolicy, workers: int):
+        self.manifest = manifest
+        self.campaign = campaign
+        self.source = source
+        self.engine = engine
+        self.options = options
+        self.policy = policy
+        self.workers = workers
         try:
-            future.result(timeout=options.shard_timeout_s)
-        except _FuturesTimeout:
-            shard.status = SHARD_FAILED
-            shard.error = (f"attempt {shard.attempts} timed out after "
-                           f"{options.shard_timeout_s} s")
-            # cancel if still queued so a hung shard cannot also consume
-            # the retry round's worker slots
-            future.cancel()
-            timed_out = True
-        except Exception as exc:   # worker raised or died
-            shard.status = SHARD_FAILED
-            shard.error = (f"attempt {shard.attempts}: "
-                           f"{type(exc).__name__}: {exc}")
+            self.mp_context = multiprocessing.get_context("fork")
+        except ValueError:        # platforms without fork
+            self.mp_context = multiprocessing.get_context()
+        self.running: List[_AttemptHandle] = []
+        self.completed_durations: List[float] = []
+        self.started_monotonic = time.monotonic()
+        # shard_id -> mutable slot state; "launched" counts this run's
+        # attempts (the retry budget is per run, so a resumed campaign
+        # gets a fresh budget while record.attempts stays cumulative)
+        self.slots: Dict[int, dict] = {}
+        self.dead_after_s = max(
+            options.heartbeat_interval_s * options.heartbeat_grace,
+            4 * options.poll_interval_s)
+        # a freshly forked worker needs time for its first beat (import
+        # and fork latency on a loaded host), so silence is measured
+        # against a larger allowance until the first beat lands
+        self.startup_grace_s = self.dead_after_s + 10.0
+
+    # -- main loop ----------------------------------------------------------
+
+    def run(self) -> None:
+        for record in self.manifest.unfinished():
+            self.slots[record.shard_id] = {
+                "record": record, "eligible": 0.0, "launched": 0,
+                "pending": True, "quarantined": False}
+        if not self.slots:
+            return
+        os.makedirs(self.manifest.heartbeat_dir, exist_ok=True)
+        while True:
+            progressed = self._harvest()
+            progressed |= self._launch_eligible()
+            if not self.running and not any(
+                    slot["pending"] for slot in self.slots.values()):
+                break
+            if not progressed:
+                time.sleep(self.options.poll_interval_s)
+
+    # -- harvesting ---------------------------------------------------------
+
+    def _harvest(self) -> bool:
+        progressed = False
+        for attempt in list(self.running):
+            if attempt.finished:
+                continue
+            if self._try_credit(attempt):
+                progressed = True
+                continue
+            process = attempt.process
+            runtime = time.monotonic() - attempt.started_monotonic
+            if not process.is_alive():
+                process.join()
+                # the worker may have published in the window since the
+                # last poll — credit before declaring the attempt failed
+                if self._try_credit(attempt):
+                    progressed = True
+                    continue
+                self._harvest_dead(attempt)
+                progressed = True
+                continue
+            silence = self._heartbeat_silence(attempt, runtime)
+            if silence is not None:
+                # alive by is_alive() but not beating: frozen or wedged.
+                # Declare it dead now instead of waiting out the shard
+                # timeout; known-dead reschedules skip the backoff too.
+                _terminate_process(process)
+                self._fail(attempt, ATTEMPT_HEARTBEAT_LOST,
+                           f"no heartbeat for {silence:.2f} s (interval "
+                           f"{self.options.heartbeat_interval_s} s); "
+                           "worker declared dead")
+                progressed = True
+                continue
+            if (self.options.shard_timeout_s is not None
+                    and runtime > self.options.shard_timeout_s):
+                _terminate_process(process)
+                self._fail(attempt, ATTEMPT_TIMEOUT,
+                           f"timed out after {self.options.shard_timeout_s}"
+                           " s")
+                progressed = True
+                continue
+            self._maybe_speculate(attempt, runtime)
+        self.running = [a for a in self.running if not a.finished]
+        return progressed
+
+    def _heartbeat_silence(self, attempt: _AttemptHandle,
+                           runtime: float) -> Optional[float]:
+        """Seconds of heartbeat silence past the allowance, else None."""
+        try:
+            age = time.time() - os.path.getmtime(attempt.heartbeat_path)
+        except OSError:
+            # no beat published yet: measure against the startup grace
+            return runtime if runtime > self.startup_grace_s else None
+        return age if age > self.dead_after_s else None
+
+    def _try_credit(self, attempt: _AttemptHandle) -> bool:
+        record = attempt.record
+        payload = self.manifest.promote_attempt_result(record,
+                                                       attempt.number)
+        if payload is None:
+            return False
+        duration = time.monotonic() - attempt.started_monotonic
+        self._finish_entry(attempt, ATTEMPT_OK)
+        attempt.finished = True
+        record.status = SHARD_DONE
+        record.error = None
+        self.completed_durations.append(duration)
+        slot = self.slots[record.shard_id]
+        slot["pending"] = False
+        # the speculative race (if any) is settled by verification: the
+        # loser is terminated and can never touch the canonical result,
+        # because workers only ever write attempt-private files
+        for sibling in self.running:
+            if (sibling.finished or sibling is attempt
+                    or sibling.record.shard_id != record.shard_id):
+                continue
+            _terminate_process(sibling.process)
+            self._finish_entry(sibling, ATTEMPT_SUPERSEDED)
+            sibling.finished = True
+        if attempt.process.is_alive():
+            attempt.process.join(timeout=2.0)
+        self.manifest.clear_attempt_files(record)
+        self.policy.call(self.manifest.write)
+        return True
+
+    def _harvest_dead(self, attempt: _AttemptHandle) -> None:
+        record = attempt.record
+        report = self.manifest.load_attempt_error(record.shard_id,
+                                                  attempt.number)
+        exitcode = attempt.process.exitcode
+        if report is not None:
+            self._fail(attempt, ATTEMPT_ERROR,
+                       f"{report['type']}: {report['message']}",
+                       report=report)
+        elif exitcode == 0:
+            self._fail(attempt, ATTEMPT_VERIFY_FAILED,
+                       "worker exited cleanly but its result file is "
+                       "missing or failed verification")
         else:
-            if manifest.load_shard_result(shard) is not None:
-                shard.status = SHARD_DONE
-                shard.error = None
-            else:
-                shard.status = SHARD_FAILED
-                shard.error = (f"attempt {shard.attempts}: worker returned "
-                               "but its result file failed verification")
-        manifest.write()
-    # a timed-out worker may still be running; don't block shutdown on it
-    # and terminate its process outright so the next round starts with a
-    # fresh pool instead of waiting behind a hung simulation
-    pool.shutdown(wait=not timed_out, cancel_futures=timed_out)
-    if timed_out:
-        for proc in list(getattr(pool, "_processes", None) or {}).values():
-            if proc.is_alive():
-                proc.terminate()
+            self._fail(attempt, ATTEMPT_CRASH,
+                       f"worker died with exit code {exitcode} before "
+                       "publishing a result")
+
+    def _fail(self, attempt: _AttemptHandle, outcome: str, message: str,
+              report: Optional[dict] = None) -> None:
+        record = attempt.record
+        self._finish_entry(attempt, outcome, report)
+        attempt.finished = True
+        if record.status != SHARD_DONE:
+            record.status = SHARD_FAILED
+            record.error = f"attempt {attempt.number}: {message}"
+            if not self._live_attempts(record.shard_id):
+                self._schedule_or_quarantine(record, outcome)
+        self.policy.call(self.manifest.write)
+
+    def _schedule_or_quarantine(self, record: ShardRecord,
+                                outcome: str) -> None:
+        slot = self.slots[record.shard_id]
+        now = time.monotonic()
+        remaining = self.policy.remaining(self.started_monotonic, now)
+        if slot["launched"] >= self.policy.max_attempts:
+            slot["pending"] = False
+            slot["quarantined"] = True
+            return
+        if remaining is not None and remaining <= 0:
+            slot["pending"] = False
+            slot["quarantined"] = True
+            record.error = (f"{record.error} [deadline budget "
+                            f"{self.policy.deadline_s} s exhausted]")
+            return
+        if outcome in (ATTEMPT_CRASH, ATTEMPT_HEARTBEAT_LOST):
+            # the worker is known dead — there is no host pressure to
+            # wait out, so reschedule immediately
+            delay = 0.0
+        else:
+            delay = self.policy.delay_for(slot["launched"])
+            if remaining is not None:
+                delay = min(delay, remaining)
+        slot["eligible"] = now + delay
+
+    def _finish_entry(self, attempt: _AttemptHandle, outcome: str,
+                      report: Optional[dict] = None) -> None:
+        entry = attempt.record.attempt_entry(attempt.number)
+        if entry is None:
+            return
+        entry["outcome"] = outcome
+        entry["ended_unix"] = time.time()
+        entry["duration_s"] = round(
+            time.monotonic() - attempt.started_monotonic, 6)
+        if report is not None:
+            entry["error"] = report
+
+    def _live_attempts(self, shard_id: int) -> List[_AttemptHandle]:
+        return [a for a in self.running
+                if not a.finished and a.record.shard_id == shard_id]
+
+    # -- launching ----------------------------------------------------------
+
+    def _launch_eligible(self) -> bool:
+        progressed = False
+        now = time.monotonic()
+        for slot in self.slots.values():
+            if len(self.running) >= self.workers:
+                break
+            if not slot["pending"] or slot["quarantined"]:
+                continue
+            if slot["eligible"] > now or self._live_attempts(
+                    slot["record"].shard_id):
+                continue
+            self._launch(slot, speculative=False)
+            progressed = True
+        return progressed
+
+    def _maybe_speculate(self, attempt: _AttemptHandle,
+                         runtime: float) -> None:
+        """Launch a speculative backup for a straggling attempt."""
+        factor = self.options.speculation_factor
+        if factor is None or attempt.speculative:
+            return
+        record = attempt.record
+        slot = self.slots[record.shard_id]
+        if (slot["launched"] >= self.policy.max_attempts
+                or len(self._live_attempts(record.shard_id)) > 1
+                or len(self.completed_durations)
+                < self.options.speculation_min_done
+                or len(self.running) >= self.workers):
+            return
+        median = statistics.median(self.completed_durations)
+        if runtime <= factor * max(median, self.options.poll_interval_s):
+            return
+        self._launch(slot, speculative=True)
+
+    def _launch(self, slot: dict, speculative: bool) -> None:
+        record: ShardRecord = slot["record"]
+        record.attempts += 1
+        slot["launched"] += 1
+        number = record.attempts
+        task = {
+            "shard_id": record.shard_id,
+            "attempt": number,
+            "engine": self.engine,
+            "programs": [self.campaign.programs[i]
+                         for i in record.lane_indices],
+            "lane_indices": record.lane_indices,
+            "digests": record.digests,
+            "source": self.source.subset(record.lane_indices),
+            "result_path": self.manifest.attempt_result_path(
+                record.shard_id, number),
+            "error_path": self.manifest.attempt_error_path(
+                record.shard_id, number),
+            "heartbeat_path": self.manifest.heartbeat_path(
+                record.shard_id, number),
+            "heartbeat_interval_s": self.options.heartbeat_interval_s,
+            "fault_hook": self.options.fault_hook,
+            "chaos": self.options.chaos,
+        }
+        process = self.mp_context.Process(
+            target=_shard_worker_main, args=(task,), daemon=True)
+        process.start()
+        handle = _AttemptHandle(record, number, speculative, process,
+                                task["heartbeat_path"])
+        record.history.append({
+            "attempt": number,
+            "speculative": speculative,
+            "pid": process.pid,
+            "started_unix": time.time(),
+            "ended_unix": None,
+            "duration_s": None,
+            "outcome": ATTEMPT_RUNNING,
+        })
+        self.running.append(handle)
+        self.policy.call(self.manifest.write)
 
 
 register_executor(ExecutorSpec(

@@ -15,17 +15,31 @@ partition and lane-source digest all have to match) and re-runs only the
 shards whose result files are missing or fail verification.  The layout
 follows the ``create_batch_manifest.py`` / ``verify_and_retry`` pattern
 of HPC array-job pipelines.
+
+Execution hardening (chaos-tested by ``repro.chaos``) adds three more
+artifact families to the directory: per-attempt result files
+(``shard-NNNN.attempt-KK.pkl``, digest-verified and *promoted* to the
+canonical name by the parent — required for speculative execution to be
+safe), per-attempt error reports
+(``shard-NNNN.attempt-KK.error.json``, the failure reason a dying
+worker leaves behind) and per-attempt heartbeat files under
+``heartbeats/`` (how the scheduler tells a dead worker from a slow
+one).  Each shard record carries its full attempt ``history``.
 """
 
 from __future__ import annotations
 
 import dataclasses
+import glob
+import hashlib
 import json
 import os
 import pickle
+import traceback
 import warnings
 from typing import Dict, List, Optional
 
+from ..chaos.runtime import fire as _chaos_fire
 from ..common.exceptions import ConfigurationError
 
 
@@ -47,6 +61,20 @@ SHARD_FAILED = "failed"
 
 MANIFEST_FILENAME = "manifest.json"
 MANIFEST_VERSION = 1
+HEARTBEAT_DIRNAME = "heartbeats"
+
+#: Attempt outcomes recorded in a shard's ``history``.
+ATTEMPT_OK = "ok"
+ATTEMPT_CRASH = "crash"
+ATTEMPT_ERROR = "error"
+ATTEMPT_TIMEOUT = "timeout"
+ATTEMPT_HEARTBEAT_LOST = "heartbeat-lost"
+ATTEMPT_VERIFY_FAILED = "verify-failed"
+ATTEMPT_SUPERSEDED = "superseded"
+ATTEMPT_RUNNING = "running"
+
+#: Traceback truncation for per-attempt failure reports.
+TRACEBACK_LIMIT_CHARS = 2000
 
 
 @dataclasses.dataclass
@@ -60,8 +88,17 @@ class ShardRecord:
             (:meth:`~repro.scenarios.scenario.Scenario.digest`) — the
             integrity key for resume and result verification.
         status: ``"pending"``, ``"done"`` or ``"failed"``.
-        attempts: how many times the shard has been launched.
+        attempts: how many times the shard has been launched (speculative
+            backups included).
         error: last failure description, if any.
+        history: one record per launched attempt — ``attempt`` number,
+            ``speculative`` flag, ``pid``, ``started_unix`` /
+            ``ended_unix`` / ``duration_s`` stamps, the ``outcome``
+            (``"ok"``, ``"crash"``, ``"error"``, ``"timeout"``,
+            ``"heartbeat-lost"``, ``"verify-failed"``,
+            ``"superseded"``, or ``"running"`` while in flight) and,
+            for reported exceptions, an ``error`` dict carrying the
+            exception class, message and truncated traceback.
     """
 
     shard_id: int
@@ -70,6 +107,7 @@ class ShardRecord:
     status: str = SHARD_PENDING
     attempts: int = 0
     error: Optional[str] = None
+    history: List[dict] = dataclasses.field(default_factory=list)
 
     def to_dict(self) -> dict:
         return dataclasses.asdict(self)
@@ -82,7 +120,16 @@ class ShardRecord:
                             for lane in data["digests"]],
                    status=str(data["status"]),
                    attempts=int(data.get("attempts", 0)),
-                   error=data.get("error"))
+                   error=data.get("error"),
+                   history=[dict(entry)
+                            for entry in data.get("history", [])])
+
+    def attempt_entry(self, number: int) -> Optional[dict]:
+        """The history record of attempt ``number``, if recorded."""
+        for entry in reversed(self.history):
+            if entry.get("attempt") == number:
+                return entry
+        return None
 
     def identity(self) -> tuple:
         """The shard fields that must match for a resume to be valid."""
@@ -101,9 +148,9 @@ class CampaignManifest:
         self.engine = engine
         self.source_digest = source_digest
         self.shards = shards
-        # informational record of the run's retry policy (max_retries,
-        # retry_backoff_s); not part of the resume identity — a resume
-        # may retry with a different policy
+        # informational record of the run's RetryPolicy (to_dict form);
+        # not part of the resume identity — a resume may retry with a
+        # different policy
         self.retry = retry
 
     # -- paths --------------------------------------------------------------
@@ -112,8 +159,35 @@ class CampaignManifest:
     def path(self) -> str:
         return os.path.join(self.directory, MANIFEST_FILENAME)
 
+    @property
+    def heartbeat_dir(self) -> str:
+        return os.path.join(self.directory, HEARTBEAT_DIRNAME)
+
     def shard_result_path(self, shard_id: int) -> str:
+        """The canonical (credited) result file of one shard."""
         return os.path.join(self.directory, f"shard-{shard_id:04d}.pkl")
+
+    def attempt_result_path(self, shard_id: int, attempt: int) -> str:
+        """Where one attempt publishes its result before promotion.
+
+        Attempts never write the canonical path directly: the parent
+        digest-verifies an attempt file first and *promotes* it with an
+        atomic rename, so a speculative backup (or a late straggler from
+        a killed run) can never clobber a credited result with an
+        unverified one.
+        """
+        return os.path.join(self.directory,
+                            f"shard-{shard_id:04d}.attempt-{attempt:02d}.pkl")
+
+    def attempt_error_path(self, shard_id: int, attempt: int) -> str:
+        return os.path.join(
+            self.directory,
+            f"shard-{shard_id:04d}.attempt-{attempt:02d}.error.json")
+
+    def heartbeat_path(self, shard_id: int, attempt: int) -> str:
+        return os.path.join(
+            self.heartbeat_dir,
+            f"shard-{shard_id:04d}.attempt-{attempt:02d}.json")
 
     # -- persistence --------------------------------------------------------
 
@@ -128,7 +202,14 @@ class CampaignManifest:
         }
 
     def write(self) -> None:
-        """Atomically persist the manifest (write temp file + rename)."""
+        """Atomically persist the manifest (write temp file + rename).
+
+        The chaos site ``"manifest.write"`` fires first, so an injected
+        ENOSPC hits before any bytes land — the executor wraps this in
+        its :class:`~repro.common.retry.RetryPolicy` to ride out
+        transient failures.
+        """
+        _chaos_fire("manifest.write", path=self.path)
         tmp = self.path + f".tmp-{os.getpid()}"
         with open(tmp, "w", encoding="utf-8") as fh:
             json.dump(self.to_dict(), fh, indent=2)
@@ -241,26 +322,106 @@ class CampaignManifest:
     # -- shard results ------------------------------------------------------
 
     def load_shard_result(self, record: ShardRecord) -> Optional[dict]:
-        """Load and verify one shard's result file.
+        """Load and verify one shard's canonical result file.
 
         Returns the payload only when the file exists, unpickles and
         matches the shard's identity (id, lane indices and scenario
         digests); anything else returns None so the verify-and-retry
         loop treats the shard as not done.
         """
-        path = self.shard_result_path(record.shard_id)
+        return self.load_verified_payload(
+            self.shard_result_path(record.shard_id), record)
+
+    def load_verified_payload(self, path: str,
+                              record: ShardRecord) -> Optional[dict]:
+        """Load ``path``, verify its checksum and shard identity.
+
+        The file is a checksummed envelope (see
+        :func:`write_shard_payload`): the SHA-256 over the payload
+        pickle bytes must match before anything is unpickled into a
+        result — a bit flip *anywhere* in the payload fails here, not
+        just one that breaks the pickle framing — and the payload must
+        carry ``record``'s shard identity (id, lane indices, scenario
+        digests).  Anything else returns None so the scheduler treats
+        the shard as not done.
+        """
         if not os.path.exists(path):
             return None
         try:
             with open(path, "rb") as fh:
-                payload = pickle.load(fh)
+                envelope = pickle.load(fh)
+            if (not isinstance(envelope, dict)
+                    or not isinstance(envelope.get("blob"), bytes)
+                    or hashlib.sha256(envelope["blob"]).hexdigest()
+                    != envelope.get("sha256")):
+                return None
+            payload = pickle.loads(envelope["blob"])
         except Exception:
             return None
-        if (payload.get("shard_id") != record.shard_id
+        if (not isinstance(payload, dict)
+                or payload.get("shard_id") != record.shard_id
                 or payload.get("lane_indices") != record.lane_indices
                 or payload.get("digests") != record.digests):
             return None
         return payload
+
+    def promote_attempt_result(self, record: ShardRecord,
+                               attempt: int) -> Optional[dict]:
+        """Verify one attempt's result file and credit it canonically.
+
+        The digest verification happens *before* the atomic rename onto
+        the canonical path — an unverified attempt file (corrupted
+        payload, foreign shard) is never promoted.  Returns the verified
+        payload, or None when the attempt file is absent or fails
+        verification.
+        """
+        path = self.attempt_result_path(record.shard_id, attempt)
+        payload = self.load_verified_payload(path, record)
+        if payload is None:
+            return None
+        os.replace(path, self.shard_result_path(record.shard_id))
+        return payload
+
+    def salvage_attempt_result(self, record: ShardRecord) -> Optional[dict]:
+        """Promote any surviving verified attempt file of this shard.
+
+        Used by the resume scan: a run killed between an attempt's
+        publish and its promotion (or a late straggler that finished
+        after its run died) leaves a verifiable
+        ``shard-NNNN.attempt-KK.pkl`` behind; crediting it avoids
+        re-simulating completed work.
+        """
+        pattern = os.path.join(self.directory,
+                               f"shard-{record.shard_id:04d}.attempt-*.pkl")
+        for path in sorted(glob.glob(pattern)):
+            payload = self.load_verified_payload(path, record)
+            if payload is not None:
+                os.replace(path, self.shard_result_path(record.shard_id))
+                return payload
+        return None
+
+    def load_attempt_error(self, shard_id: int,
+                           attempt: int) -> Optional[dict]:
+        """The failure report one attempt wrote before dying, if any."""
+        path = self.attempt_error_path(shard_id, attempt)
+        if not os.path.exists(path):
+            return None
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                report = json.load(fh)
+        except (OSError, ValueError):
+            return None
+        return report if isinstance(report, dict) else None
+
+    def clear_attempt_files(self, record: ShardRecord) -> None:
+        """Drop leftover attempt result/error files of a finished shard."""
+        for pattern in (f"shard-{record.shard_id:04d}.attempt-*.pkl",
+                        f"shard-{record.shard_id:04d}.attempt-*.error.json"):
+            for path in glob.glob(os.path.join(self.directory, pattern)):
+                try:
+                    os.remove(path)
+                except OSError:
+                    pass
 
     # -- queries ------------------------------------------------------------
 
@@ -285,13 +446,48 @@ def _sidelined_path(path: str, reason: str) -> str:
 
 
 def write_shard_payload(path: str, payload: dict) -> None:
-    """Atomically persist one shard's outcome payload.
+    """Atomically persist one shard's outcome payload, checksummed.
 
-    Called from worker processes: the temp-file + rename dance means a
-    worker killed mid-write leaves no partial result file for the
-    parent's verification to trip over.
+    Called from worker processes: the payload pickle travels inside an
+    envelope carrying its own SHA-256, so the parent's verification
+    catches any corruption of the payload bytes (not only flips that
+    happen to break the pickle framing), and the temp-file + rename
+    dance means a worker killed mid-write leaves no partial result file
+    at the canonical name.  The chaos site ``"shard.write"`` fires
+    between the temp write and the rename — exactly where a torn write,
+    a slow disk or a bit flip would land.
     """
+    blob = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+    envelope = {"sha256": hashlib.sha256(blob).hexdigest(), "blob": blob}
     tmp = path + f".tmp-{os.getpid()}"
     with open(tmp, "wb") as fh:
-        pickle.dump(payload, fh, protocol=pickle.HIGHEST_PROTOCOL)
+        pickle.dump(envelope, fh, protocol=pickle.HIGHEST_PROTOCOL)
+    _chaos_fire("shard.write", shard=payload.get("shard_id"),
+                attempt=payload.get("attempt"), path=tmp)
     os.replace(tmp, path)
+
+
+def write_error_report(path: str, exc: BaseException) -> None:
+    """Atomically persist a worker's failure reason before it exits.
+
+    The report (exception class, message, truncated traceback) is what
+    the parent records in the shard's attempt history — so a quarantined
+    shard in a partial campaign result says *why* it failed, not just
+    that it did.
+    """
+    trace = "".join(traceback.format_exception(type(exc), exc,
+                                               exc.__traceback__))
+    if len(trace) > TRACEBACK_LIMIT_CHARS:
+        trace = ("...[truncated]...\n"
+                 + trace[-TRACEBACK_LIMIT_CHARS:])
+    report = {"type": type(exc).__name__, "message": str(exc),
+              "traceback": trace}
+    tmp = path + f".tmp-{os.getpid()}"
+    try:
+        with open(tmp, "w", encoding="utf-8") as fh:
+            json.dump(report, fh, indent=1)
+        os.replace(tmp, path)
+    except OSError:
+        # a dying worker must not die harder because the error report
+        # could not be written (e.g. the disk is the problem)
+        pass

@@ -28,8 +28,13 @@ payload, config or provenance metadata — fails verification.
 Writes are durable: temp file in the same directory, ``fsync``, atomic
 rename, directory ``fsync``.  A crash at any point leaves either the
 previous state or the complete new entry — never a readable-but-wrong
-file.  Reads verify everything; any mismatch (checksum, schema version,
+file.  Transient write failures (ENOSPC, EIO) are retried under the
+store's :class:`~repro.common.retry.RetryPolicy` before surfacing.
+Reads verify everything; any mismatch (checksum, schema version,
 truncation, unparseable JSON) quarantines the entry and reports a miss.
+Both failure modes are chaos-tested: :mod:`repro.chaos` injects ENOSPC
+and kill-mid-rename at the ``store.write`` / ``store.rename`` sites
+fired inside the durable-write path.
 
 :meth:`ResultStore.audit` is the runtime defense built on the engine
 equivalence locks: it re-simulates a sample of cached entries from their
@@ -49,11 +54,13 @@ import random
 import time
 from typing import Dict, List, Optional, Sequence
 
+from ..chaos.runtime import fire as _chaos_fire
 from ..common.exceptions import (
     ConfigurationError,
     StoreError,
     StoreIntegrityError,
 )
+from ..common.retry import RetryPolicy
 from ..platform.result import canonical_bytes, content_digest
 from .keys import STORE_SCHEMA
 
@@ -124,10 +131,17 @@ class ResultStore:
             missing.  An existing directory must carry a compatible
             ``store.json`` marker — a different schema version is
             refused rather than misread.
+        retry: :class:`~repro.common.retry.RetryPolicy` applied to
+            durable writes — transient ``OSError`` failures (ENOSPC
+            clearing, EIO) are retried with backoff before surfacing.
+            Defaults to three quick attempts.
     """
 
-    def __init__(self, directory: str):
+    def __init__(self, directory: str,
+                 retry: Optional[RetryPolicy] = None):
         self.directory = str(directory)
+        self.retry = retry or RetryPolicy(max_attempts=3, backoff_s=0.05,
+                                          max_backoff_s=1.0)
         self.stats = StoreStats()
         os.makedirs(self.entries_dir, exist_ok=True)
         os.makedirs(self.quarantine_dir, exist_ok=True)
@@ -144,8 +158,8 @@ class ResultStore:
                     f"store {self.directory!r} uses schema {schema!r}, "
                     f"this code speaks schema {STORE_SCHEMA}")
         else:
-            _durable_write(marker, json.dumps(
-                {"schema": STORE_SCHEMA}).encode("utf-8"))
+            blob = json.dumps({"schema": STORE_SCHEMA}).encode("utf-8")
+            self.retry.call(lambda: _durable_write(marker, blob))
 
     # -- layout -------------------------------------------------------------
 
@@ -217,7 +231,8 @@ class ResultStore:
         envelope["entry_sha256"] = content_digest(envelope)
         path = self.entry_path(key)
         os.makedirs(os.path.dirname(path), exist_ok=True)
-        _durable_write(path, json.dumps(envelope, indent=1).encode("utf-8"))
+        blob = json.dumps(envelope, indent=1).encode("utf-8")
+        self.retry.call(lambda: _durable_write(path, blob))
         self.stats.puts += 1
         return path
 
@@ -391,12 +406,20 @@ def _durable_write(path: str, blob: bytes) -> None:
     the complete, verifiable entry.  The temp name includes the PID so
     concurrent writers never collide; a stray ``.tmp-*`` from a killed
     writer is ignored by every reader.
+
+    Chaos sites: ``store.write`` fires before anything touches disk
+    (transient ENOSPC injection lands here) and ``store.rename`` fires
+    in the vulnerable window between the fsync and the atomic rename
+    (kill-mid-rename injection) — the promise under chaos test is that
+    neither can ever leave a readable-but-wrong file.
     """
+    _chaos_fire("store.write", path=path)
     tmp = f"{path}.tmp-{os.getpid()}"
     with open(tmp, "wb") as fh:
         fh.write(blob)
         fh.flush()
         os.fsync(fh.fileno())
+    _chaos_fire("store.rename", path=path)
     os.replace(tmp, path)
     try:
         dir_fd = os.open(os.path.dirname(path) or ".", os.O_RDONLY)

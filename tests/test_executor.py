@@ -560,7 +560,10 @@ class TestFaultInjectionAndResume:
         assert manifest.shards[0].status == SHARD_DONE
         assert manifest.shards[1].status == SHARD_FAILED
         assert "injected persistent fault" in manifest.shards[1].error
-        assert manifest.retry == {"max_retries": 1, "retry_backoff_s": 0.01}
+        assert manifest.retry == {"max_attempts": 2, "backoff_s": 0.01,
+                                  "backoff_factor": 2.0,
+                                  "max_backoff_s": 30.0,
+                                  "deadline_s": None}
         assert os.path.exists(manifest.shard_result_path(0))
         attempts_before = manifest.shards[0].attempts
 

@@ -30,11 +30,14 @@ from hypothesis import given, strategies as st
 from strategies.settings import SLOW_SETTINGS, STANDARD_SETTINGS
 
 import repro
+from repro.chaos import ChaosPlan, Enospc, InjectedCrash, KillMidRename
+from repro.chaos import runtime as chaos_runtime
 from repro.common import (
     ConfigurationError,
     StoreError,
     StoreIntegrityError,
 )
+from repro.common.retry import RetryPolicy
 from repro.eval.metrics import CharacterizationConfig, GyroCharacterization
 from repro.faults import AfeSaturation, SensorDropout, StuckAdcCode
 from repro.platform import GyroPlatform, content_digest
@@ -584,6 +587,98 @@ class TestStoreBackedResume:
         assert store.stats.hits == 1 and len(store) == 2
         # the second miss set (lane 1 only) got its own manifest dir
         assert len(os.listdir(manifest_dir)) == 2
+
+
+# ---------------------------------------------------------------------------
+# chaos-injected durability: ENOSPC and kill-mid-rename on the write path
+# ---------------------------------------------------------------------------
+
+@pytest.fixture(scope="module")
+def store_put_args(started_platform, tmp_path_factory):
+    """A verified entry's put() arguments, harvested from a cold run."""
+    import base64
+    root = tmp_path_factory.mktemp("chaos-seed")
+    store = ResultStore(str(root / "store"))
+    camp = Campaign([settled_output_scenario(10.0, settle_s=0.02)],
+                    name="chaos-store")
+    camp.run(copy.deepcopy(started_platform), store=store)
+    [key] = store.keys()
+    entry = store.load_entry(key)
+    provenance = dict(campaign=entry.campaign, engine=entry.engine,
+                      executor=entry.executor,
+                      source_digest=entry.source_digest)
+    return (key, entry.lane_outcome(),
+            base64.b64decode(entry.config_b64), provenance)
+
+
+class TestChaosDurability:
+    @staticmethod
+    def _put(store, args):
+        key, lane, config_blob, provenance = args
+        return store.put(key, lane, config_blob=config_blob, **provenance)
+
+    def test_transient_enospc_rides_retry_policy(self, store_put_args,
+                                                 tmp_path):
+        # ENOSPC that clears after two writes: the store's default
+        # three-attempt policy rides it out and the entry verifies
+        store = ResultStore(str(tmp_path / "s"))
+        plan = ChaosPlan([Enospc(site="store.write", times=2)])
+        with chaos_runtime.active(plan):
+            self._put(store, store_put_args)
+        key, lane = store_put_args[0], store_put_args[1]
+        assert store.get(key).to_dict() == lane.to_dict()
+        assert store.stats.quarantined == 0
+
+    def test_persistent_enospc_surfaces_with_no_entry(self, store_put_args,
+                                                      tmp_path):
+        store = ResultStore(str(tmp_path / "s"),
+                            retry=RetryPolicy(max_attempts=2))
+        plan = ChaosPlan([Enospc(site="store.write")])
+        with chaos_runtime.active(plan):
+            with pytest.raises(OSError, match="no space left"):
+                self._put(store, store_put_args)
+        key, lane = store_put_args[0], store_put_args[1]
+        # the failed put left nothing readable — not a partial entry
+        assert key not in store
+        assert store.get(key) is None
+        assert store.stats.quarantined == 0
+        # once the disk clears, the same put heals bit-identically
+        self._put(store, store_put_args)
+        assert store.get(key).to_dict() == lane.to_dict()
+
+    def test_kill_mid_rename_never_readable_but_wrong(self, store_put_args,
+                                                      tmp_path):
+        # the writer dies between the fsync and the atomic rename — the
+        # most dangerous instant of the durable-write dance.  The
+        # canonical entry must be absent (a stray tmp file is fine:
+        # readers never look at it), never readable-but-wrong, and the
+        # crash must not be mistaken for a retryable I/O error.
+        store = ResultStore(str(tmp_path / "s"))
+        key, lane = store_put_args[0], store_put_args[1]
+        with chaos_runtime.active(ChaosPlan([KillMidRename(times=1)])):
+            with pytest.raises(InjectedCrash):
+                self._put(store, store_put_args)
+        assert key not in store
+        assert store.get(key) is None
+        assert store.stats.quarantined == 0
+        # the "next run" re-puts and the entry comes back bit-identical
+        self._put(store, store_put_args)
+        assert store.get(key).to_dict() == lane.to_dict()
+
+    def test_campaign_resume_heals_store_crash_bit_identically(
+            self, started_platform, tmp_path, monkeypatch):
+        camp = make_campaign()
+        plain = camp.run(copy.deepcopy(started_platform))
+        store = ResultStore(str(tmp_path / "store"))
+        with pytest.raises(InjectedCrash):
+            camp.run(copy.deepcopy(started_platform), store=store,
+                     chaos=ChaosPlan([KillMidRename(times=1)]))
+        healed = camp.run(copy.deepcopy(started_platform), store=store)
+        assert_campaigns_identical(plain, healed)
+        # the store is warm now: a third run serves with zero simulation
+        forbid_simulation(monkeypatch)
+        warm = camp.run(copy.deepcopy(started_platform), store=store)
+        assert_campaigns_identical(plain, warm)
 
 
 # ---------------------------------------------------------------------------
