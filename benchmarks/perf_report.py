@@ -1,8 +1,8 @@
-"""Engine performance report: reference vs. fused vs. batched vs. campaign.
+"""Engine performance report: reference vs. fused/compiled vs. batched.
 
-Times the three co-simulation paths on the same fixed workload — the
-Fig. 5 drive-loop locking scenario (sensor at rest from power-on) — plus
-the scenario-campaign orchestrator on a rate-table sweep, both in-process
+Times the co-simulation paths on the same fixed workload — the Fig. 5
+drive-loop locking scenario (sensor at rest from power-on) — plus the
+scenario-campaign orchestrator on a rate-table sweep, both in-process
 and through the sharded multi-process executor, and writes
 ``BENCH_engine.json`` at the repository root so the perf trajectory can
 be tracked across PRs.
@@ -11,7 +11,10 @@ Schema: a list of ``{path, samples_per_sec, speedup_vs_reference}``
 records under ``"entries"``.  ``samples_per_sec`` is simulated
 samples per wall-clock second; for the batched and campaign paths all
 fleet lanes count, so their speedup is the *per-scenario* throughput
-gain at ``B`` lanes.
+gain at ``B`` lanes.  ``compiled_backend`` records whether the compiled
+rows ran the numba JIT or the generated-Python fallback; the compiled
+engine's kernel generation/JIT warm-up is excluded from its timings (a
+throwaway run compiles and caches the kernel before the clock starts).
 
 Run with:  PYTHONPATH=src python benchmarks/perf_report.py [--quick]
 """
@@ -24,7 +27,8 @@ import time
 
 sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
 
-from repro.engine import FleetSimulator                    # noqa: E402
+from repro.engine import FleetSimulator, backend_info      # noqa: E402
+from repro.engine import run_compiled_fleet                # noqa: E402
 from repro.platform import GyroPlatform, GyroPlatformConfig  # noqa: E402
 from repro.scenarios import Campaign, rate_table_scenarios  # noqa: E402
 from repro.sensors import Environment                      # noqa: E402
@@ -40,12 +44,29 @@ REPEATS = 2  # best-of-N to damp scheduler noise
 
 
 def _time_engine(engine: str, duration_s: float) -> float:
+    if engine == "compiled":
+        # compile and cache the kernel outside the timed region: the
+        # report tracks steady-state throughput, not one-off JIT cost
+        GyroPlatform(GyroPlatformConfig()).run(Environment.still(), 0.01,
+                                               engine="compiled")
     best = float("inf")
     for _ in range(REPEATS):
         platform = GyroPlatform(GyroPlatformConfig())
         start = time.perf_counter()
         platform.run(Environment.still(), duration_s, reset=True,
                      engine=engine)
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _time_compiled_fleet(lanes: int, duration_s: float) -> float:
+    """Time ``run_compiled_fleet`` over ``lanes`` homogeneous lanes
+    (kernel already warm from the scalar compiled row)."""
+    best = float("inf")
+    for _ in range(REPEATS):
+        fleet = [GyroPlatform(GyroPlatformConfig()) for _ in range(lanes)]
+        start = time.perf_counter()
+        run_compiled_fleet(fleet, Environment.still(), duration_s)
         best = min(best, time.perf_counter() - start)
     return best
 
@@ -119,7 +140,9 @@ def build_report(duration_s: float = DURATION_S,
 
     t_ref = _time_engine("reference", duration_s)
     t_fused = _time_engine("fused", duration_s)
+    t_compiled = _time_engine("compiled", duration_s)
     t_batch = _time_batch(lanes, duration_s)
+    t_compiled_fleet = _time_compiled_fleet(lanes, duration_s)
     t_campaign = _time_campaign(lanes, duration_s)
     t_sharded = _time_sharded(lanes, duration_s, workers)
 
@@ -127,7 +150,10 @@ def build_report(duration_s: float = DURATION_S,
     entries = []
     for path, sps in (("reference", sps_ref),
                       ("fused", n / t_fused),
+                      ("compiled", n / t_compiled),
                       (f"batched[B={lanes}]", n * lanes / t_batch),
+                      (f"compiled-batched[B={lanes}]",
+                       n * lanes / t_compiled_fleet),
                       (f"campaign[rate-table B={lanes}]",
                        n * lanes / t_campaign),
                       (f"sharded[{workers} workers, rate-table B={lanes}]",
@@ -146,6 +172,7 @@ def build_report(duration_s: float = DURATION_S,
         "batch_lanes": lanes,
         "workers": workers,
         "cpu_count": os.cpu_count(),
+        "compiled_backend": backend_info(),
         "entries": entries,
     }
 

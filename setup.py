@@ -1,5 +1,16 @@
 """Setup shim for environments without PEP 517 build isolation."""
 
-from setuptools import setup
+from setuptools import find_packages, setup
 
-setup()
+setup(
+    name="repro-gyro-cosim",
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    install_requires=["numpy", "scipy"],
+    extras_require={
+        # the compiled engine JITs its generated kernels with numba when
+        # available and falls back to plain exec-compiled Python when
+        # not; install with `pip install -e .[jit]` for the fast path
+        "jit": ["numba"],
+    },
+)

@@ -1,6 +1,6 @@
 """Fast co-simulation engines for the gyro conditioning platform.
 
-Three interchangeable ways to run the same mixed-signal co-simulation:
+Four interchangeable ways to run the same mixed-signal co-simulation:
 
 * **reference** — the original object-oriented per-sample loop in
   :meth:`GyroPlatform.run` (one method call per block per sample).
@@ -12,13 +12,33 @@ Three interchangeable ways to run the same mixed-signal co-simulation:
   state made array-valued over a fleet of ``B`` independent platforms
   stepped in NumPy lockstep; an order of magnitude more per-scenario
   throughput at ``B≈32``, again bit-identical per lane.
+* **compiled** (:func:`repro.engine.compiled.run_compiled`) — a kernel
+  *generated* for the platform's structure (fixed-point quantisers
+  inlined, biquads unrolled, dead branches dropped) and JIT-compiled
+  with numba when it is installed; without numba the same generated
+  source runs as a plain Python kernel, still faster than fused and
+  still bit-identical.  :func:`repro.engine.compiled.run_compiled_fleet`
+  runs heterogeneous fleets lane-by-lane with cache-sized time chunks.
 
-``GyroPlatform.run`` dispatches to the fused kernel by default
+``GyroPlatform.run`` dispatches through the engine registry
 (``GyroPlatformConfig.engine``); ``GyroPlatform.run_batch`` and
 :class:`FleetSimulator` expose the batch axis.
 """
 
 from .batch import FleetSimulator
+from .compiled import (
+    backend_info,
+    compiled_backend,
+    run_compiled,
+    run_compiled_fleet,
+)
 from .fused import run_fused
 
-__all__ = ["FleetSimulator", "run_fused"]
+__all__ = [
+    "FleetSimulator",
+    "backend_info",
+    "compiled_backend",
+    "run_compiled",
+    "run_compiled_fleet",
+    "run_fused",
+]

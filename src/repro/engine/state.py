@@ -145,6 +145,204 @@ def sensor_temperature_plan(sensor, temp_arr: np.ndarray
     return events
 
 
+#: Slot order of the packed scalar-state vector used by the compiled
+#: engine's kernels.  The names match the locals of the fused kernel;
+#: :func:`pack_scalar_state` fills the vector from the platform objects
+#: and :func:`unpack_scalar_state` writes it back, reproducing exactly
+#: the state the fused kernel reads at entry / writes at exit.  Booleans
+#: travel as 0.0/1.0, counters as exact small floats, the start-up
+#: sequencer state as its enum value and ``st_ready`` uses -1.0 for
+#: "not ready yet" (the reference sequencer never reports sample 0).
+SCALAR_STATE = (
+    "x", "xv", "y", "yv",
+    "pga_p_state", "pga_s_state", "aa_p1", "aa_p2", "aa_s1", "aa_s2",
+    "overload",
+    "pd_state", "amp_state", "pll_integ", "phase_err", "amplitude",
+    "lock_counter", "locked", "sin_ref", "cos_ref", "nco_phase", "tuning",
+    "agc_integ", "agc_gain", "agc_err",
+    "di_state", "dq_state", "rate_channel", "quad_channel",
+    "rate_dps_val", "rate_word",
+    "reb_state", "reb_integ", "reb_cmd", "reb_residual",
+    "st_state", "st_count", "st_settle", "st_ready", "st_failed",
+    "drive_v", "control_v", "drive_word", "control_word", "rdac_held",
+)
+
+STATE_INDEX = {name: index for index, name in enumerate(SCALAR_STATE)}
+
+
+def pack_scalar_state(platform) -> np.ndarray:
+    """Pack one platform's mutable loop state into a float64 vector.
+
+    Reads exactly the attributes the fused kernel loads into locals at
+    entry (see :data:`SCALAR_STATE` for the slot order), so a kernel
+    operating on the vector starts from bit-identical state.
+    """
+    frontend = platform.frontend
+    conditioner = platform.conditioner
+    sensor = platform.sensor
+    drive_loop = conditioner.drive_loop
+    pll = drive_loop.pll
+    nco = pll.nco
+    agc = drive_loop.agc
+    sense = conditioner.sense_chain
+    rebalance = conditioner.rebalance
+    startup = conditioner.startup
+    ready = startup._ready_sample
+    values = {
+        "x": sensor.primary._displacement,
+        "xv": sensor.primary._velocity,
+        "y": sensor.secondary._displacement,
+        "yv": sensor.secondary._velocity,
+        "pga_p_state": frontend.primary_pga._state,
+        "pga_s_state": frontend.secondary_pga._state,
+        "aa_p1": frontend.primary_antialias._first._state,
+        "aa_p2": frontend.primary_antialias._second._state,
+        "aa_s1": frontend.secondary_antialias._first._state,
+        "aa_s2": frontend.secondary_antialias._second._state,
+        "overload": 1.0 if frontend._overload else 0.0,
+        "pd_state": pll._pd_filter._state,
+        "amp_state": pll._amp_filter._state,
+        "pll_integ": pll._integrator,
+        "phase_err": pll._phase_error,
+        "amplitude": pll._amplitude,
+        "lock_counter": float(pll._lock_counter),
+        "locked": 1.0 if pll._locked else 0.0,
+        "sin_ref": pll._sin_ref,
+        "cos_ref": pll._cos_ref,
+        "nco_phase": nco._phase,
+        "tuning": nco._tuning_hz,
+        "agc_integ": agc._integrator,
+        "agc_gain": agc._gain,
+        "agc_err": agc._error,
+        "di_state": sense.demodulator.in_phase._filter._state,
+        "dq_state": sense.demodulator.quadrature._filter._state,
+        "rate_channel": sense._rate_channel,
+        "quad_channel": sense._quadrature_channel,
+        "rate_dps_val": sense._rate_dps,
+        "rate_word": sense._rate_word,
+        "reb_state": rebalance._demod._filter._state,
+        "reb_integ": rebalance._integrator,
+        "reb_cmd": rebalance._command,
+        "reb_residual": rebalance._residual,
+        "st_state": float(startup._state.value),
+        "st_count": float(startup._sample_count),
+        "st_settle": float(startup._settle_counter),
+        "st_ready": -1.0 if ready is None else float(ready),
+        "st_failed": 1.0 if startup._failed else 0.0,
+        "drive_v": platform._drive_v,
+        "control_v": platform._control_v,
+        "drive_word": drive_loop._drive_word,
+        "control_word": conditioner._control_word,
+        "rdac_held": frontend.rate_output_dac._held_output,
+    }
+    return np.array([float(values[name]) for name in SCALAR_STATE])
+
+
+def unpack_scalar_state(platform, state: np.ndarray) -> None:
+    """Write a packed state vector back into the platform objects.
+
+    Performs the same writeback the fused kernel does at exit (the
+    caller still owns biquad states, the sample counter, the platform
+    clock and the monitor-register refresh).  Values are converted back
+    to the plain Python types the reference chain keeps (floats, ints,
+    bools, :class:`~repro.gyro.startup.StartupState`), so platforms that
+    ran compiled pickle/digest identically to ones that ran fused.
+    """
+    from ..gyro.startup import StartupState
+    g = {name: state[index] for index, name in enumerate(SCALAR_STATE)}
+    frontend = platform.frontend
+    conditioner = platform.conditioner
+    sensor = platform.sensor
+    drive_loop = conditioner.drive_loop
+    pll = drive_loop.pll
+    nco = pll.nco
+    agc = drive_loop.agc
+    sense = conditioner.sense_chain
+    rebalance = conditioner.rebalance
+    startup = conditioner.startup
+
+    sensor.primary._displacement = float(g["x"])
+    sensor.primary._velocity = float(g["xv"])
+    sensor.secondary._displacement = float(g["y"])
+    sensor.secondary._velocity = float(g["yv"])
+
+    frontend.primary_pga._state = float(g["pga_p_state"])
+    frontend.secondary_pga._state = float(g["pga_s_state"])
+    frontend.primary_antialias._first._state = float(g["aa_p1"])
+    frontend.primary_antialias._second._state = float(g["aa_p2"])
+    frontend.secondary_antialias._first._state = float(g["aa_s1"])
+    frontend.secondary_antialias._second._state = float(g["aa_s2"])
+    overload = bool(g["overload"] != 0.0)
+    frontend._overload = overload
+    frontend.trim.register("afe_status").hw_write_field(
+        "overload", int(overload))
+    frontend.drive_dac._held_output = float(g["drive_v"])
+    frontend.control_dac._held_output = float(g["control_v"])
+    frontend.rate_output_dac._held_output = float(g["rdac_held"])
+
+    pll._pd_filter._state = float(g["pd_state"])
+    pll._amp_filter._state = float(g["amp_state"])
+    pll._integrator = float(g["pll_integ"])
+    pll._phase_error = float(g["phase_err"])
+    pll._amplitude = float(g["amplitude"])
+    pll._lock_counter = int(g["lock_counter"])
+    pll._locked = bool(g["locked"] != 0.0)
+    pll._sin_ref = float(g["sin_ref"])
+    pll._cos_ref = float(g["cos_ref"])
+    nco._phase = float(g["nco_phase"])
+    nco._tuning_hz = float(g["tuning"])
+    agc._integrator = float(g["agc_integ"])
+    agc._gain = float(g["agc_gain"])
+    agc._error = float(g["agc_err"])
+    drive_loop._drive_word = float(g["drive_word"])
+
+    sense.demodulator.in_phase._filter._state = float(g["di_state"])
+    sense.demodulator.quadrature._filter._state = float(g["dq_state"])
+    sense._rate_channel = float(g["rate_channel"])
+    sense._quadrature_channel = float(g["quad_channel"])
+    sense._rate_dps = float(g["rate_dps_val"])
+    sense._rate_word = float(g["rate_word"])
+
+    rebalance._demod._filter._state = float(g["reb_state"])
+    rebalance._integrator = float(g["reb_integ"])
+    rebalance._command = float(g["reb_cmd"])
+    rebalance._residual = float(g["reb_residual"])
+
+    startup._state = StartupState(int(g["st_state"]))
+    startup._sample_count = int(g["st_count"])
+    startup._settle_counter = int(g["st_settle"])
+    ready = g["st_ready"]
+    startup._ready_sample = None if ready < 0.0 else int(ready)
+    startup._failed = bool(g["st_failed"] != 0.0)
+
+    conditioner._control_word = float(g["control_word"])
+    platform._drive_v = float(g["drive_v"])
+    platform._control_v = float(g["control_v"])
+
+
+def biquad_arrays(iir_filter) -> Tuple[np.ndarray, np.ndarray]:
+    """Flat ``(coefs, z)`` arrays of an IirFilter for the compiled kernels.
+
+    ``coefs`` is ``[b0, b1, b2, a1, a2]`` per section, flattened;
+    ``z`` is ``[z1, z2]`` per section, flattened (the kernel mutates it
+    in place; push it back with :func:`writeback_biquad_arrays`).
+    """
+    coefs = []
+    z = []
+    for section in iir_filter.sections:
+        coefs.extend((section.b[0], section.b[1], section.b[2],
+                      section.a[1], section.a[2]))
+        z.extend((section._z1, section._z2))
+    return np.array(coefs, dtype=float), np.array(z, dtype=float)
+
+
+def writeback_biquad_arrays(iir_filter, z: np.ndarray) -> None:
+    """Push a compiled kernel's flat biquad states back into the filter."""
+    for index, section in enumerate(iir_filter.sections):
+        section._z1 = float(z[2 * index])
+        section._z2 = float(z[2 * index + 1])
+
+
 def biquad_sections(iir_filter) -> List[List[float]]:
     """Extract ``[b0, b1, b2, a1, a2, z1, z2]`` rows from an IirFilter."""
     rows = []

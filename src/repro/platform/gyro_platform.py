@@ -64,10 +64,12 @@ class GyroPlatformConfig:
         temperature_sensor: on-chip temperature sensor model.
         record_decimation: trace recording decimation factor.
         engine: default simulation engine — ``"fused"`` (flattened
-            single-function kernel, the fast default) or ``"reference"``
-            (the original object-oriented per-sample loop).  Both produce
-            bit-identical traces; see ``repro.engine`` and the registry
-            in ``repro.scenarios.engines``.
+            single-function kernel, the fast default), ``"compiled"``
+            (generated specialised kernel, numba-JIT when available) or
+            ``"reference"`` (the original object-oriented per-sample
+            loop).  All produce bit-identical traces; see
+            ``repro.engine`` and the registry in
+            ``repro.scenarios.engines``.
     """
 
     sample_rate_hz: float = 120_000.0

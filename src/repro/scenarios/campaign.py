@@ -346,7 +346,7 @@ class Campaign:
             heartbeat_grace: float = 6.0,
             speculation_factor: Optional[float] = 4.0,
             speculation_min_done: int = 2,
-            store=None) -> CampaignResult:
+            store=None, fleet=None) -> CampaignResult:
         """Execute every lane program and return the per-lane outcomes.
 
         Exactly one base must be given:
@@ -434,6 +434,16 @@ class Campaign:
                 outcomes are durably stored before the merged result
                 returns.  Served lanes carry ``platform=None``.
                 Incompatible with ``mutate=True``.
+            fleet: store-backed ``platform=`` runs only — a pool of
+                pre-built warm platforms (``len(fleet) >= len(self)``)
+                for the cache-miss lanes to run on.  Each miss borrows
+                a fleet lane and rewinds it in place to the base
+                platform's exact state from one shared pickle, instead
+                of deep-copying the base once per miss — reuse the same
+                fleet across many store-backed campaigns to amortise
+                lane construction.  Results, store keys and stored
+                entries are bit-identical to the cold (no-``fleet``)
+                path; local executor only.
         """
         from .executor import ExecutorOptions, LaneSource, get_executor
         source = LaneSource.resolve(platform, platforms, config, mutate,
@@ -467,12 +477,16 @@ class Campaign:
                                   heartbeat_grace=heartbeat_grace,
                                   speculation_factor=speculation_factor,
                                   speculation_min_done=speculation_min_done)
+        if fleet is not None and store is None:
+            raise ConfigurationError(
+                "fleet= provides warm lanes for store cache misses; it "
+                "requires store=")
         spec = get_executor(executor)
         with chaos_active(chaos):
             if store is not None:
                 from ..store.serve import run_with_store
                 return run_with_store(self, source, engine, executor,
-                                      options, store)
+                                      options, store, fleet=fleet)
             return spec.runner(self, source, engine, options)
 
 
@@ -485,11 +499,11 @@ def _execute_lanes(programs: Sequence[Sequence[Scenario]], lanes: Sequence,
     ``"sharded"`` executor calls it inside each worker with that shard's
     slice of the lanes.  Chunking policy: every round, each lane steps
     to its *own* next boundary — its next stop-condition check or
-    scenario end, never a foreign lane's.  Inside a batched engine call
-    the shorter lanes retire at their boundary (per-lane early exit in
-    :meth:`~repro.engine.batch.FleetSimulator.run`) while the longer
-    lanes run on, so a lane's step sequence is a pure function of its
-    own program and its own stop outcomes.  That is what makes the
+    scenario end, never a foreign lane's.  Engines that expose a fleet
+    entry point (``batched``, ``compiled``) step all active lanes per
+    call; the shorter lanes retire at their boundary (per-lane early
+    exit) while the longer lanes run on, so a lane's step sequence is a
+    pure function of its own program and its own stop outcomes.  That is what makes the
     traces invariant to packing: sequential replay, any fleet grouping
     and any shard partition all advance each lane through identical
     engine-call boundaries, hence bit-identical results.
@@ -505,11 +519,11 @@ def _execute_lanes(programs: Sequence[Sequence[Scenario]], lanes: Sequence,
         steps = [s.samples_to_boundary() for s in active]
         environments = [state.environment() for state in active]
         record = any(state.scenario.record_waveforms for state in active)
-        if spec.batched:
-            from ..engine.batch import FleetSimulator
-            fleet = FleetSimulator([state.platform for state in active])
-            results = fleet.run(environments, [step / fs for step in steps],
-                                record_waveforms=record)
+        if spec.fleet_runner is not None and (spec.batched or len(active) > 1):
+            results = spec.run_fleet([state.platform for state in active],
+                                     environments,
+                                     [step / fs for step in steps],
+                                     record_waveforms=record)
         else:
             results = [spec.run(state.platform, env, step / fs,
                                 state.scenario.record_waveforms)

@@ -14,6 +14,14 @@ resolve engine names here instead of keeping their own string checks.
   samples, so it only pays off with enough concurrent lanes (roughly
   B >= 12 on the benchmark machine, see ``BENCH_engine.json``); below
   that, running scenarios sequentially on the fused kernel is faster.
+* ``"compiled"`` — a kernel *generated* for the platform's structure
+  (quantisers inlined, biquads unrolled, dead branches dropped) and
+  JIT-compiled with numba when it is installed, falling back to a plain
+  ``exec``-compiled Python kernel otherwise.  Bit-identical to the
+  reference chain on both backends.  It also exposes a fleet entry
+  point: lanes run sequentially through their specialised kernels, so
+  compiled fleets may be structurally heterogeneous and retire lanes
+  early for free.
 """
 
 from __future__ import annotations
@@ -26,6 +34,7 @@ from ..common.exceptions import ConfigurationError
 ENGINE_REFERENCE = "reference"
 ENGINE_FUSED = "fused"
 ENGINE_BATCHED = "batched"
+ENGINE_COMPILED = "compiled"
 
 
 @dataclass(frozen=True)
@@ -41,12 +50,19 @@ class EngineSpec:
         runner: scalar entry point
             ``runner(platform, environment, duration_s, record_waveforms)``
             returning a :class:`~repro.platform.result.GyroSimulationResult`.
+        fleet_runner: optional fleet entry point
+            ``fleet_runner(platforms, environments, durations_s,
+            record_waveforms)`` returning one result per lane; engines
+            that provide it can step many lanes per call (lockstep or
+            specialised-kernel), and the campaign chunker drives them
+            through :meth:`run_fleet` instead of per-lane :meth:`run`.
     """
 
     name: str
     batched: bool
     description: str
     runner: Optional[Callable] = None
+    fleet_runner: Optional[Callable] = None
 
     def run(self, platform, environment, duration_s: float,
             record_waveforms: bool = False):
@@ -58,6 +74,16 @@ class EngineSpec:
         return self.runner(platform, environment, duration_s,
                            record_waveforms)
 
+    def run_fleet(self, platforms, environments, durations_s,
+                  record_waveforms: bool = False):
+        """Run a fleet of platforms through this engine's fleet entry point."""
+        if self.fleet_runner is None:
+            raise ConfigurationError(
+                f"engine {self.name!r} has no fleet runner; run its lanes "
+                "one at a time through run()")
+        return self.fleet_runner(platforms, environments, durations_s,
+                                 record_waveforms)
+
 
 def _run_reference(platform, environment, duration_s: float,
                    record_waveforms: bool = False):
@@ -68,6 +94,26 @@ def _run_fused(platform, environment, duration_s: float,
                record_waveforms: bool = False):
     from ..engine.fused import run_fused
     return run_fused(platform, environment, duration_s, record_waveforms)
+
+
+def _run_fleet_batched(platforms, environments, durations_s,
+                       record_waveforms: bool = False):
+    from ..engine.batch import FleetSimulator
+    return FleetSimulator(list(platforms)).run(
+        environments, durations_s, record_waveforms=record_waveforms)
+
+
+def _run_compiled(platform, environment, duration_s: float,
+                  record_waveforms: bool = False):
+    from ..engine.compiled import run_compiled
+    return run_compiled(platform, environment, duration_s, record_waveforms)
+
+
+def _run_compiled_fleet(platforms, environments, durations_s,
+                        record_waveforms: bool = False):
+    from ..engine.compiled import run_compiled_fleet
+    return run_compiled_fleet(platforms, environments, durations_s,
+                              record_waveforms)
 
 
 _REGISTRY: Dict[str, EngineSpec] = {}
@@ -91,7 +137,13 @@ register_engine(EngineSpec(
 register_engine(EngineSpec(
     ENGINE_BATCHED, batched=True,
     description="NumPy lockstep fleet (amortises the interpreter over "
-                "B concurrent lanes)"))
+                "B concurrent lanes)",
+    fleet_runner=_run_fleet_batched))
+register_engine(EngineSpec(
+    ENGINE_COMPILED, batched=False,
+    description="generated specialised kernel (numba JIT when installed, "
+                "exec-compiled Python fallback otherwise)",
+    runner=_run_compiled, fleet_runner=_run_compiled_fleet))
 
 
 def engine_names(scalar_only: bool = False) -> Tuple[str, ...]:

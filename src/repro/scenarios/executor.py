@@ -390,9 +390,19 @@ def _partition(n_lanes: int, workers: int,
 
 
 def _check_picklable(campaign: Campaign, source: LaneSource,
-                     options: ExecutorOptions) -> None:
+                     options: ExecutorOptions) -> str:
+    """Pickle-compatibility check and lane-source digest in one pass.
+
+    The lane source (typically the largest payload — whole platform
+    objects) is pickled exactly once and the bytes reused for the
+    manifest's resume-verification digest, instead of a second full
+    pickle through :meth:`LaneSource.digest`.  The digest bytes are
+    identical to ``source.digest()``.
+    """
     try:
-        pickle.dumps((campaign.programs, source, options.fault_hook,
+        source_blob = pickle.dumps((source.mode, source.base),
+                                   protocol=pickle.HIGHEST_PROTOCOL)
+        pickle.dumps((campaign.programs, options.fault_hook,
                       options.chaos),
                      protocol=pickle.HIGHEST_PROTOCOL)
     except Exception as exc:
@@ -402,6 +412,7 @@ def _check_picklable(campaign: Campaign, source: LaneSource,
             "fault hook and chaos model must be picklable (the scenario "
             "and chaos libraries' are — lambdas and closures are not): "
             f"{exc}") from exc
+    return hashlib.sha256(source_blob).hexdigest()[:16]
 
 
 def _terminate_process(process) -> None:
@@ -420,7 +431,7 @@ def _run_sharded(campaign: Campaign, source: LaneSource, engine: str,
         raise ConfigurationError(
             "mutate=True runs on the caller's platform object and cannot "
             "cross process boundaries; use the local executor")
-    _check_picklable(campaign, source, options)
+    source_digest = _check_picklable(campaign, source, options)
     workers = options.workers or max(1, os.cpu_count() or 1)
     if workers < 1:
         raise ConfigurationError("workers must be >= 1")
@@ -435,7 +446,7 @@ def _run_sharded(campaign: Campaign, source: LaneSource, engine: str,
     directory = options.manifest_dir or tempfile.mkdtemp(
         prefix="repro-campaign-")
     manifest = policy.call(lambda: CampaignManifest.create_or_resume(
-        str(directory), campaign.name, engine, source.digest(), shards,
+        str(directory), campaign.name, engine, source_digest, shards,
         retry=policy.to_dict()))
     policy.call(manifest.write)
 

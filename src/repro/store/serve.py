@@ -36,7 +36,7 @@ from .store import ResultStore
 
 
 def run_with_store(campaign, source, engine: str, executor_name: str,
-                   options, store: ResultStore):
+                   options, store: ResultStore, fleet=None):
     """Execute a campaign against a result store (see module docstring).
 
     Called by ``Campaign.run`` after it has resolved the engine, the
@@ -44,9 +44,17 @@ def run_with_store(campaign, source, engine: str, executor_name: str,
     :class:`CampaignResult`.  Lanes served from the store carry
     ``platform=None`` (the store persists traces and metrics, not live
     simulator objects); lanes that simulated fresh keep their platforms.
+
+    ``fleet`` is an optional pool of pre-built warm platforms: instead
+    of deep-copying the base platform once per missing lane, each miss
+    borrows a fleet lane and rewinds it to the base platform's exact
+    state by reloading one shared pickle of the base (a pickle round
+    trip preserves platform state bit-for-bit, so the rewound lane is
+    indistinguishable from a cold deep copy).  Store keys are untouched
+    — a warm run and a cold run key and replay identically.
     """
     from ..scenarios.campaign import Campaign, CampaignResult
-    from ..scenarios.executor import get_executor
+    from ..scenarios.executor import LaneSource, get_executor
 
     if source.mutate:
         raise ConfigurationError(
@@ -55,6 +63,21 @@ def run_with_store(campaign, source, engine: str, executor_name: str,
             "(drop mutate, or drop store)")
     programs = campaign.programs
     n_lanes = len(programs)
+    if fleet is not None:
+        if source.mode != "platform":
+            raise ConfigurationError(
+                "fleet= rewinds warm lanes to one base platform's state; "
+                "it requires the platform= lane source")
+        if executor_name != "local":
+            raise ConfigurationError(
+                "fleet= reuses in-process platform objects, which cannot "
+                "cross the sharded executor's process boundary; use the "
+                "local executor (or drop fleet=)")
+        fleet = list(fleet)
+        if len(fleet) < n_lanes:
+            raise ConfigurationError(
+                f"fleet of {len(fleet)} warm lanes cannot cover a "
+                f"{n_lanes}-lane campaign")
     source_digests = source.lane_digests(n_lanes)
     keys = [lane_key(source_digests[i], engine,
                      [s.digest() for s in programs[i]])
@@ -73,6 +96,20 @@ def run_with_store(campaign, source, engine: str, executor_name: str,
             for i in missing}
         sub_campaign = Campaign([programs[i] for i in missing],
                                 name=campaign.name)
+        if fleet is not None:
+            # one pickle of the base per campaign, shared by every miss:
+            # each borrowed warm lane is rewound in place to the base
+            # platform's exact starting state
+            base_blob = pickle.dumps(source.base,
+                                     protocol=pickle.HIGHEST_PROTOCOL)
+            warm_lanes = fleet[:len(missing)]
+            for lane in warm_lanes:
+                fresh = pickle.loads(base_blob)
+                lane.__dict__.clear()
+                lane.__dict__.update(fresh.__dict__)
+            sub_source = LaneSource("platforms", warm_lanes)
+        else:
+            sub_source = source.subset(missing)
         sub_options = options
         if options.manifest_dir is not None:
             tag = miss_set_digest(keys[i] for i in missing)
@@ -81,7 +118,7 @@ def run_with_store(campaign, source, engine: str, executor_name: str,
                 manifest_dir=os.path.join(str(options.manifest_dir),
                                           f"miss-{tag}"))
         result = get_executor(executor_name).runner(
-            sub_campaign, source.subset(missing), engine, sub_options)
+            sub_campaign, sub_source, engine, sub_options)
         for position, index in enumerate(missing):
             lane = result.lanes[position]
             if lane is None:         # quarantined shard: stays missing

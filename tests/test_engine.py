@@ -1,12 +1,13 @@
 """Tests for the fast co-simulation engines (``repro.engine``).
 
-The fused scalar kernel and the batched fleet engine both promise
-*bit-identical* traces and final platform state relative to the
-object-oriented reference loop.  These tests hold them to it on short
-runs covering lock-in, temperature ramps, fixed-point (prototype) mode,
-closed-loop rebalance and waveform recording, and check the supporting
-vectorised helpers (``Environment.sample``, ``BufferedGaussianNoise.take``)
-against their scalar counterparts.
+The fused scalar kernel, the compiled (generated, optionally numba-JIT)
+kernel and the batched fleet engine all promise *bit-identical* traces
+and final platform state relative to the object-oriented reference
+loop.  These tests hold them to it on short runs covering lock-in,
+temperature ramps, fixed-point (prototype) mode, closed-loop rebalance
+and waveform recording, and check the supporting vectorised helpers
+(``Environment.sample``, ``BufferedGaussianNoise.take``) against their
+scalar counterparts.
 """
 
 import numpy as np
@@ -66,66 +67,73 @@ def _pair(config=None):
     return (GyroPlatform(copy.deepcopy(cfg)), GyroPlatform(copy.deepcopy(cfg)))
 
 
-class TestFusedEquivalence:
-    def test_lockin_traces_bit_identical(self):
-        ref, fus = _pair()
+@pytest.mark.parametrize("engine", ["fused", "compiled"])
+class TestScalarEngineEquivalence:
+    """Every scalar fast engine must match the reference loop bit for bit
+    (the ``compiled`` rows run on whichever backend is active — numba
+    when installed, the generated-Python fallback otherwise)."""
+
+    def test_lockin_traces_bit_identical(self, engine):
+        ref, fast = _pair()
         env = Environment.still()
         r_ref = ref.run(env, 0.1, engine="reference")
-        r_fus = fus.run(env, 0.1, engine="fused")
-        _assert_results_identical(r_ref, r_fus)
-        _assert_platform_state_identical(ref, fus)
+        r_fast = fast.run(env, 0.1, engine=engine)
+        _assert_results_identical(r_ref, r_fast)
+        _assert_platform_state_identical(ref, fast)
 
-    def test_rate_and_temperature_ramp(self):
+    def test_rate_and_temperature_ramp(self, engine):
         # exercises the sensor temperature-retune plan and the
         # temperature-compensation paths
         env = Environment(
             rate_dps=RampProfile(start=-100.0, stop=100.0, t0=0.0, t1=0.06),
             temperature_c=RampProfile(start=25.0, stop=65.0, t0=0.0, t1=0.06))
-        ref, fus = _pair()
+        ref, fast = _pair()
         r_ref = ref.run(env, 0.08, engine="reference")
-        r_fus = fus.run(env, 0.08, engine="fused")
-        _assert_results_identical(r_ref, r_fus)
-        _assert_platform_state_identical(ref, fus)
+        r_fast = fast.run(env, 0.08, engine=engine)
+        _assert_results_identical(r_ref, r_fast)
+        _assert_platform_state_identical(ref, fast)
 
-    def test_fixed_point_mode(self):
+    def test_fixed_point_mode(self, engine):
         cfg = GyroPlatformConfig()
         cfg.conditioner.fixed_point = True
-        ref, fus = _pair(cfg)
+        ref, fast = _pair(cfg)
         env = Environment.constant_rate(50.0)
         r_ref = ref.run(env, 0.06, engine="reference")
-        r_fus = fus.run(env, 0.06, engine="fused")
-        _assert_results_identical(r_ref, r_fus)
+        r_fast = fast.run(env, 0.06, engine=engine)
+        _assert_results_identical(r_ref, r_fast)
 
-    def test_closed_loop_mode(self):
+    def test_closed_loop_mode(self, engine):
         cfg = GyroPlatformConfig()
         cfg.conditioner.closed_loop = True
-        ref, fus = _pair(cfg)
+        ref, fast = _pair(cfg)
         env = Environment.constant_rate(80.0)
         r_ref = ref.run(env, 0.06, engine="reference")
-        r_fus = fus.run(env, 0.06, engine="fused")
-        _assert_results_identical(r_ref, r_fus)
-        _assert_platform_state_identical(ref, fus)
+        r_fast = fast.run(env, 0.06, engine=engine)
+        _assert_results_identical(r_ref, r_fast)
+        _assert_platform_state_identical(ref, fast)
 
-    def test_waveform_recording(self):
-        ref, fus = _pair()
+    def test_waveform_recording(self, engine):
+        ref, fast = _pair()
         env = Environment.still()
         r_ref = ref.run(env, 0.04, engine="reference", record_waveforms=True)
-        r_fus = fus.run(env, 0.04, engine="fused", record_waveforms=True)
-        _assert_results_identical(r_ref, r_fus, waveforms=True)
+        r_fast = fast.run(env, 0.04, engine=engine, record_waveforms=True)
+        _assert_results_identical(r_ref, r_fast, waveforms=True)
 
-    def test_engines_interleave_on_one_platform(self):
-        # a fused segment must leave the platform exactly where a
+    def test_engines_interleave_on_one_platform(self, engine):
+        # a fast-engine segment must leave the platform exactly where a
         # reference segment would, so segments can be mixed freely
         ref, mixed = _pair()
         env = Environment.rate_step(120.0, step_time=0.03)
         a = ref.run(env, 0.03, engine="reference")
         b = ref.run(env, 0.03, engine="reference")
-        c = mixed.run(env, 0.03, engine="fused")
+        c = mixed.run(env, 0.03, engine=engine)
         d = mixed.run(env, 0.03, engine="reference")
         _assert_results_identical(a, c)
         _assert_results_identical(b, d)
         _assert_platform_state_identical(ref, mixed)
 
+
+class TestFusedEquivalence:
     def test_run_fused_entrypoint_matches_run(self):
         ref, fus = _pair()
         env = Environment.still()
@@ -158,8 +166,9 @@ class TestFusedEquivalence:
 
 
 class TestLockingScenarioAcceptance:
-    """The ISSUE acceptance run: fused/batched match the reference on
-    lock time, amplitude and rate output for the Fig. 5 locking case."""
+    """The ISSUE acceptance run: fused/compiled/batched match the
+    reference on lock time, amplitude and rate output for the Fig. 5
+    locking case."""
 
     def test_all_engines_agree_on_locking_run(self):
         env = Environment.still()
@@ -167,13 +176,15 @@ class TestLockingScenarioAcceptance:
         cfg = GyroPlatformConfig()
         ref = GyroPlatform(copy.deepcopy(cfg))
         fus = GyroPlatform(copy.deepcopy(cfg))
+        com = GyroPlatform(copy.deepcopy(cfg))
         r_ref = ref.run(env, 0.4, engine="reference", reset=True)
         r_fus = fus.run(env, 0.4, engine="fused", reset=True)
+        r_com = com.run(env, 0.4, engine="compiled", reset=True)
         fleet = FleetSimulator.from_config(cfg, 2)
         r_bat = fleet.run(env, 0.4, reset=True)[0]
 
         assert r_ref.pll_locked[-1]
-        for other in (r_fus, r_bat):
+        for other in (r_fus, r_com, r_bat):
             assert abs(other.lock_time_s() - r_ref.lock_time_s()) <= 1e-9
             assert np.max(np.abs(other.amplitude_control
                                  - r_ref.amplitude_control)) <= 1e-9

@@ -2,8 +2,9 @@
 
 The contract under test: every fault model is declarative and picklable,
 arms and disarms exactly at the campaign's chunk boundaries, produces
-bit-identical traces on the reference, fused and batched engines and on
-both executors, never leaks into a neighbouring fleet lane, and is fully
+bit-identical traces on the reference, fused, batched and compiled
+engines and on both executors, never leaks into a neighbouring fleet
+lane, and is fully
 restored when its scenario completes.  On top of that, the platform's
 graceful-degradation path — overload observation, the safe-mode latch,
 the firmware-visible safety registers and the resilience extractors —
@@ -223,9 +224,9 @@ class TestFaultBitIdentity:
                    clean_scenario()]
         runs = {engine: Campaign(program, name="x").run(started_platform,
                                                         engine=engine)
-                for engine in ("reference", "fused", "batched")}
+                for engine in ("reference", "fused", "batched", "compiled")}
         ref = runs["reference"]
-        for engine in ("fused", "batched"):
+        for engine in ("fused", "batched", "compiled"):
             for lane_ref, lane_eng in zip(ref.lanes, runs[engine].lanes):
                 for a, b in zip(lane_ref.outcomes, lane_eng.outcomes):
                     assert_results_identical(a.result, b.result)

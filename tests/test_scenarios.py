@@ -56,8 +56,10 @@ def _assert_outcomes_identical(a, b):
 
 class TestEngineRegistry:
     def test_registry_names(self):
-        assert set(engine_names()) == {"reference", "fused", "batched"}
-        assert set(engine_names(scalar_only=True)) == {"reference", "fused"}
+        assert set(engine_names()) == {"reference", "fused", "batched",
+                                       "compiled"}
+        assert set(engine_names(scalar_only=True)) == {"reference", "fused",
+                                                       "compiled"}
 
     def test_unknown_engine_rejected(self):
         with pytest.raises(ConfigurationError):

@@ -178,6 +178,104 @@ class TestServing:
             ResultStore(str(root))
 
 
+class TestWarmFleet:
+    """``Campaign.run(fleet=...)``: store misses borrow pre-built warm
+    lanes (rewound to the base platform's state from one shared pickle)
+    instead of deep-copying the base once per miss."""
+
+    def _fleet(self, platform, n):
+        blob = pickle.dumps(platform, protocol=pickle.HIGHEST_PROTOCOL)
+        return [pickle.loads(blob) for _ in range(n)]
+
+    def test_fleet_run_bit_identical_to_cold(self, started_platform,
+                                             tmp_path):
+        camp = make_campaign()
+        cold_store = ResultStore(str(tmp_path / "cold"))
+        cold = camp.run(copy.deepcopy(started_platform), store=cold_store)
+
+        fleet = self._fleet(started_platform, len(camp))
+        warm_store = ResultStore(str(tmp_path / "warm"))
+        warm = camp.run(copy.deepcopy(started_platform), store=warm_store,
+                        fleet=fleet)
+        assert_campaigns_identical(cold, warm)
+        # a warm-fleet run keys and stores exactly what a cold run does
+        assert sorted(warm_store.keys()) == sorted(cold_store.keys())
+        assert warm_store.stats.misses == 2 and warm_store.stats.puts == 2
+
+    def test_fleet_misses_never_deepcopy(self, started_platform, tmp_path,
+                                         monkeypatch):
+        camp = make_campaign()
+        store = ResultStore(str(tmp_path / "store"))
+        fleet = self._fleet(started_platform, len(camp))
+        base = copy.deepcopy(started_platform)
+
+        def boom(*args, **kwargs):
+            raise AssertionError("cache miss deep-copied a platform "
+                                 "despite a warm fleet")
+        monkeypatch.setattr(copy, "deepcopy", boom)
+        result = camp.run(base, store=store, fleet=fleet)
+        assert result.complete
+        assert store.stats.misses == 2 and store.stats.puts == 2
+
+    def test_fleet_is_reusable_across_campaigns(self, started_platform,
+                                                tmp_path):
+        store = ResultStore(str(tmp_path / "store"))
+        fleet = self._fleet(started_platform, 2)
+        first = make_campaign().run(copy.deepcopy(started_platform),
+                                    store=store, fleet=fleet)
+        changed = Campaign(rate_table_scenarios([0.0, 31.0], settle_s=0.02),
+                           name="store-camp")
+        second = changed.run(copy.deepcopy(started_platform), store=store,
+                             fleet=fleet)
+        assert first.complete and second.complete
+        # second campaign: the 0.0 lane hits, the 31.0 lane reuses a
+        # rewound fleet lane for its miss
+        assert store.stats.hits == 1 and store.stats.puts == 3
+
+    def test_fleet_serves_hits_without_touching_lanes(self, started_platform,
+                                                      tmp_path, monkeypatch):
+        camp = make_campaign()
+        store = ResultStore(str(tmp_path / "store"))
+        camp.run(copy.deepcopy(started_platform), store=store)
+        forbid_simulation(monkeypatch)
+        fleet = self._fleet(started_platform, len(camp))
+        warm = camp.run(copy.deepcopy(started_platform), store=store,
+                        fleet=fleet)
+        assert warm.complete and store.stats.hits == 2
+
+    def test_fleet_without_store_rejected(self, started_platform):
+        camp = make_campaign()
+        fleet = self._fleet(started_platform, len(camp))
+        with pytest.raises(ConfigurationError, match="store"):
+            camp.run(copy.deepcopy(started_platform), fleet=fleet)
+
+    def test_fleet_requires_platform_source(self, started_platform,
+                                            tmp_path):
+        camp = make_campaign()
+        store = ResultStore(str(tmp_path / "store"))
+        fleet = self._fleet(started_platform, len(camp))
+        with pytest.raises(ConfigurationError, match="platform="):
+            camp.run(platforms=self._fleet(started_platform, len(camp)),
+                     store=store, fleet=fleet)
+
+    def test_fleet_on_sharded_executor_rejected(self, started_platform,
+                                                tmp_path):
+        camp = make_campaign()
+        store = ResultStore(str(tmp_path / "store"))
+        fleet = self._fleet(started_platform, len(camp))
+        with pytest.raises(ConfigurationError, match="local"):
+            camp.run(copy.deepcopy(started_platform), store=store,
+                     fleet=fleet, workers=2,
+                     manifest_dir=str(tmp_path / "manifest"))
+
+    def test_too_small_fleet_rejected(self, started_platform, tmp_path):
+        camp = make_campaign()
+        store = ResultStore(str(tmp_path / "store"))
+        with pytest.raises(ConfigurationError, match="fleet"):
+            camp.run(copy.deepcopy(started_platform), store=store,
+                     fleet=self._fleet(started_platform, 1))
+
+
 # ---------------------------------------------------------------------------
 # quarantine: corruption degrades to a miss, never to a wrong result
 # ---------------------------------------------------------------------------
